@@ -1,0 +1,89 @@
+// Command lpcc is the reference implementation of the paper's
+// directive-based programming support (§VI): it translates CUDA-style
+// source annotated with
+//
+//	#pragma nvm lpcuda_init(table, nelems, selem)
+//	#pragma nvm lpcuda_checksum(type, table, key1, ...)
+//
+// into (a) instrumented code with Lazy Persistency runtime calls and
+// (b) the generated check-and-recovery kernels (Listing 7).
+//
+//	lpcc -in kernel.cu -out kernel_lp.cu -recovery kernel_cr.cu
+//
+// With no flags it reads stdin and writes the instrumented program to
+// stdout followed by the recovery code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpulp/internal/directive"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input file (default stdin)")
+		out      = flag.String("out", "", "instrumented output file (default stdout)")
+		recovery = flag.String("recovery", "", "check-and-recovery output file (default appended to stdout)")
+		describe = flag.Bool("describe", false, "print the parsed directives instead of code")
+	)
+	flag.Parse()
+
+	src, err := readInput(*in)
+	if err != nil {
+		fail(err)
+	}
+	res, err := directive.Translate(string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	if *describe {
+		for _, ti := range res.Tables {
+			fmt.Printf("line %d: checksum table %s, %s elements x %s checksums\n",
+				ti.Line, ti.Name, ti.NElems, ti.SElem)
+		}
+		for _, cd := range res.Checksums {
+			fmt.Printf("line %d: kernel %s: fold %q into %s (op %q, keys %v) for store to %s\n",
+				cd.Line, cd.Kernel, cd.RHS, cd.Table, cd.Op, cd.Keys, cd.LHS)
+		}
+		return
+	}
+
+	if err := writeOutput(*out, res.Instrumented); err != nil {
+		fail(err)
+	}
+	if *recovery != "" {
+		if err := writeOutput(*recovery, res.Recovery); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *out == "" && res.Recovery != "" {
+		fmt.Println("\n// ---- generated check-and-recovery code ----")
+		fmt.Print(res.Recovery)
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func writeOutput(path, content string) error {
+	if path == "" {
+		_, err := fmt.Print(content)
+		return err
+	}
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lpcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module gpulp
+
+go 1.22

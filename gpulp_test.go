@@ -1,0 +1,114 @@
+package gpulp_test
+
+// End-to-end tests of the public facade: everything a downstream user
+// does — build a system, protect a kernel (explicitly and
+// directive-style), crash, recover, translate pragmas — through the
+// gpulp package alone.
+
+import (
+	"strings"
+	"testing"
+
+	"gpulp"
+)
+
+func TestFacadeFig2(t *testing.T) {
+	if got := gpulp.FloatBits(3.5); got != 1080033280 {
+		t.Fatalf("FloatBits(3.5) = %d, want 1080033280 (paper Fig. 2)", got)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	memCfg := gpulp.DefaultMemoryConfig()
+	memCfg.CacheBytes = 64 << 10
+	dev, mem := gpulp.NewSystem(gpulp.DefaultDeviceConfig(), memCfg)
+
+	grid, blk := gpulp.D1(64), gpulp.D1(128)
+	n := grid.Size() * blk.Size()
+	out := dev.Alloc("out", n*4)
+	out.HostZero()
+
+	lp := gpulp.NewLP(dev, gpulp.DefaultLPConfig(), grid, blk)
+	kernel := func(b *gpulp.Block) {
+		r := lp.Begin(b)
+		b.ForAll(func(th *gpulp.Thread) {
+			v := uint32(th.GlobalLinear()) * 97
+			th.StoreU32(out, th.GlobalLinear(), v)
+			r.Update(th, v)
+		})
+		r.Commit()
+	}
+	res := dev.Launch("fill", grid, blk, kernel)
+	if res.Blocks != 64 || res.Cycles <= 0 {
+		t.Fatalf("launch looks wrong: %+v", res)
+	}
+
+	mem.Crash()
+
+	recompute := func(b *gpulp.Block, r *gpulp.Region) {
+		b.ForAll(func(th *gpulp.Thread) {
+			r.Update(th, th.LoadU32(out, th.GlobalLinear()))
+		})
+	}
+	rep, err := lp.ValidateAndRecover(kernel, recompute, 4)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (%v)", err, rep)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := out.PeekU32(i), uint32(i)*97; got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFacadeInstrument(t *testing.T) {
+	dev, mem := gpulp.NewDefaultSystem()
+	grid, blk := gpulp.D1(16), gpulp.D1(64)
+	out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+	out.HostZero()
+
+	lp := gpulp.NewLP(dev, gpulp.DefaultLPConfig(), grid, blk)
+	plain := func(b *gpulp.Block) {
+		b.ForAll(func(th *gpulp.Thread) {
+			th.StoreF32(out, th.GlobalLinear(), float32(th.GlobalLinear())*0.25)
+		})
+	}
+	dev.Launch("work", grid, blk, lp.Instrument(plain, out))
+	mem.FlushAll()
+	mem.Crash()
+
+	failed, _ := lp.Validate(func(b *gpulp.Block, r *gpulp.Region) {
+		b.ForAll(func(th *gpulp.Thread) {
+			r.UpdateF32(th, th.LoadF32(out, th.GlobalLinear()))
+		})
+	})
+	if len(failed) != 0 {
+		t.Fatalf("flushed run failed validation after crash: %d regions", len(failed))
+	}
+}
+
+func TestFacadeTranslate(t *testing.T) {
+	src := `__global__ void k(float *out) {
+    int i = blockIdx.x;
+    float v = f(i);
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = v;
+}
+`
+	res, err := gpulp.Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Instrumented, "lpChecksumUpdate") {
+		t.Error("instrumented output missing checksum update call")
+	}
+	if !strings.Contains(res.Recovery, "crK") {
+		t.Errorf("recovery kernel missing:\n%s", res.Recovery)
+	}
+}
+
+func TestFacadeD123(t *testing.T) {
+	if gpulp.D1(5).Size() != 5 || gpulp.D2(2, 3).Size() != 6 || gpulp.D3(2, 3, 4).Size() != 24 {
+		t.Error("dimension constructors broken")
+	}
+}

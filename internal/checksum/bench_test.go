@@ -1,0 +1,48 @@
+package checksum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkStateUpdate measures the per-store checksum fold.
+func BenchmarkStateUpdate(b *testing.B) {
+	var s State
+	for i := 0; i < b.N; i++ {
+		s.Update(uint32(i))
+	}
+	_ = s
+}
+
+// BenchmarkOfF32s measures checksumming a block-sized value region.
+func BenchmarkOfF32s(b *testing.B) {
+	vals := make([]float32, 1024)
+	for i := range vals {
+		vals[i] = float32(i) * 0.37
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OfF32s(vals)
+	}
+}
+
+// BenchmarkAdlerOfU32s measures the Adler-32 alternative the paper
+// rejects as too expensive.
+func BenchmarkAdlerOfU32s(b *testing.B) {
+	vals := make([]uint32, 1024)
+	for i := range vals {
+		vals[i] = uint32(i) * 2654435761
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AdlerOfU32s(vals)
+	}
+}
+
+// BenchmarkFalseNegativeTrials measures the error-injection harness.
+func BenchmarkFalseNegativeTrials(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < b.N; i++ {
+		MeasureFalseNegatives(rng, Dual, LostStore, 256, 4, 100)
+	}
+}

@@ -1,0 +1,177 @@
+// Package checksum implements the region checksums used by Lazy
+// Persistency (IISWC 2020, §II-A and §IV-B): parity (XOR), modular
+// (addition), their simultaneous combination, and Adler-32 for
+// comparison. It also provides the floating-point-to-integer conversion
+// of Fig. 2 and utilities to measure false-negative rates under random
+// error injection.
+//
+// A checksum protects an LP region by folding in every stored value; at
+// crash recovery the checksum is recomputed from the durable data and
+// compared with the durably stored checksum. Parity and modular checksums
+// are commutative and associative, which is what lets thousands of GPU
+// threads reduce them in parallel with warp shuffles. Adler-32 is order
+// sensitive, which is one of the reasons (besides cost) the paper rejects
+// it for the GPU setting.
+package checksum
+
+import (
+	"fmt"
+	"hash/adler32"
+	"math"
+)
+
+// Kind selects the checksum scheme protecting an LP region.
+type Kind int
+
+const (
+	// Parity XORs the bit patterns of stored values ("^" in the
+	// directive syntax).
+	Parity Kind = iota
+	// Modular adds the bit patterns of stored values ("+").
+	Modular
+	// Dual computes Parity and Modular simultaneously; the paper's
+	// recommended configuration, with a combined false-negative rate
+	// below one in a trillion.
+	Dual
+	// Adler32 is the compression-library checksum evaluated on CPUs;
+	// expensive and order-sensitive, included for the design-space
+	// comparison.
+	Adler32
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Parity:
+		return "parity"
+	case Modular:
+		return "modular"
+	case Dual:
+		return "modular+parity"
+	case Adler32:
+		return "adler32"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// UpdateCost returns the ALU instruction count the timing model charges
+// per value folded into a checksum of this kind. Dual pays for both
+// accumulators; Adler-32 pays its two chained modular reductions per byte
+// group (the paper calls it "significantly more expensive").
+func (k Kind) UpdateCost() int {
+	switch k {
+	case Parity, Modular:
+		return 2 // convert + fold
+	case Dual:
+		return 3 // convert + two folds (conversion shared)
+	case Adler32:
+		return 12
+	}
+	return 2
+}
+
+// FloatBits converts a float32 to the integer representation used for
+// checksum computation (Fig. 2): the sign, exponent and mantissa bits
+// concatenated. For 3.5 this is 1080033280. XOR cannot be applied to
+// floating point registers in CUDA, so values are reinterpreted this way
+// before checksumming; the conversion covers both exponent and mantissa,
+// so a persistency failure in either is detectable.
+func FloatBits(v float32) uint32 { return math.Float32bits(v) }
+
+// OrderedBits converts a float32 to a totally ordered unsigned integer
+// (negative floats map below positive ones). Not needed for XOR/add
+// checksums, but useful when a checksum domain must preserve ordering.
+func OrderedBits(v float32) uint32 {
+	b := math.Float32bits(v)
+	if b&0x8000_0000 != 0 {
+		return ^b
+	}
+	return b | 0x8000_0000
+}
+
+// State is a running dual checksum accumulator. The zero State is the
+// identity: folding no values leaves Mod and Par zero.
+//
+// Both components are commutative and associative under Merge, so any
+// interleaving of per-thread accumulation and tree reduction produces the
+// same final value — the property LP regions require (§II-A).
+type State struct {
+	// Mod is the modular (additive) component.
+	Mod uint64
+	// Par is the parity (XOR) component.
+	Par uint64
+}
+
+// Update folds one 32-bit value into the accumulator.
+func (s *State) Update(bits uint32) {
+	s.Mod += uint64(bits)
+	s.Par ^= uint64(bits)
+}
+
+// UpdateF32 folds a float32 via FloatBits.
+func (s *State) UpdateF32(v float32) { s.Update(FloatBits(v)) }
+
+// Merge combines another accumulator into this one.
+func (s *State) Merge(o State) {
+	s.Mod += o.Mod
+	s.Par ^= o.Par
+}
+
+// Matches reports whether two accumulators agree under the given kind:
+// Parity compares Par, Modular compares Mod, Dual compares both.
+func (s State) Matches(o State, k Kind) bool {
+	switch k {
+	case Parity:
+		return s.Par == o.Par
+	case Modular:
+		return s.Mod == o.Mod
+	default:
+		return s.Mod == o.Mod && s.Par == o.Par
+	}
+}
+
+// OfF32s computes the dual checksum of a value slice — the host-side
+// reference used by validation kernels and tests.
+func OfF32s(vals []float32) State {
+	var s State
+	for _, v := range vals {
+		s.UpdateF32(v)
+	}
+	return s
+}
+
+// OfU32s computes the dual checksum of raw 32-bit values.
+func OfU32s(vals []uint32) State {
+	var s State
+	for _, v := range vals {
+		s.Update(v)
+	}
+	return s
+}
+
+// Mix64 is a SplitMix64-quality mixer, exported for deriving epoch salts
+// (distinct launches of the same kernel salt their region checksums so a
+// stale entry from a previous launch can never coincide with stale data
+// — e.g. an all-zero region whose previous-epoch checksum was also the
+// checksum of zeros).
+func Mix64(x, seed uint64) uint64 {
+	x += 0x9e3779b97f4a7c15 + seed
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AdlerOfU32s computes Adler-32 over the little-endian byte stream of
+// vals. Unlike State, the result depends on value order.
+func AdlerOfU32s(vals []uint32) uint32 {
+	h := adler32.New()
+	var buf [4]byte
+	for _, v := range vals {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}

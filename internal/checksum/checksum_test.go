@@ -1,0 +1,256 @@
+package checksum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFig2Conversion pins the paper's Fig. 2 example: float 3.5 (sign 0,
+// exponent 10000000, mantissa 1100...0) converts to integer 1080033280.
+func TestFig2Conversion(t *testing.T) {
+	if got := FloatBits(3.5); got != 1080033280 {
+		t.Errorf("FloatBits(3.5) = %d, want 1080033280", got)
+	}
+}
+
+func TestOrderedBitsMonotone(t *testing.T) {
+	vals := []float32{float32(math.Inf(-1)), -100, -1, -0.5, 0, 0.5, 1, 100, float32(math.Inf(1))}
+	for i := 1; i < len(vals); i++ {
+		if OrderedBits(vals[i-1]) >= OrderedBits(vals[i]) {
+			t.Errorf("OrderedBits not monotone at %v < %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Parity: "parity", Modular: "modular", Dual: "modular+parity", Adler32: "adler32",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown Kind should still format")
+	}
+}
+
+func TestUpdateCosts(t *testing.T) {
+	if !(Adler32.UpdateCost() > Dual.UpdateCost() && Dual.UpdateCost() > Parity.UpdateCost()) {
+		t.Error("cost ordering should be adler32 > dual > single")
+	}
+	if Kind(99).UpdateCost() <= 0 {
+		t.Error("unknown kind must still have positive cost")
+	}
+}
+
+func TestStateZeroIdentity(t *testing.T) {
+	var s, o State
+	s.Merge(o)
+	if s != (State{}) {
+		t.Errorf("zero merge changed state: %+v", s)
+	}
+}
+
+func TestStateUpdateAndMatch(t *testing.T) {
+	var a, b State
+	a.UpdateF32(3.5)
+	a.UpdateF32(-1.25)
+	b.UpdateF32(-1.25)
+	b.UpdateF32(3.5)
+	if a != b {
+		t.Errorf("order-sensitive state: %+v vs %+v", a, b)
+	}
+	if !a.Matches(b, Dual) || !a.Matches(b, Parity) || !a.Matches(b, Modular) {
+		t.Error("identical states should match under every kind")
+	}
+	b.UpdateF32(7)
+	if a.Matches(b, Dual) {
+		t.Error("different states match under Dual")
+	}
+}
+
+func TestMatchesKindSelectivity(t *testing.T) {
+	// Construct states equal in Mod but not Par.
+	a := State{Mod: 10, Par: 1}
+	b := State{Mod: 10, Par: 2}
+	if !a.Matches(b, Modular) {
+		t.Error("Modular should ignore parity component")
+	}
+	if a.Matches(b, Parity) || a.Matches(b, Dual) {
+		t.Error("Parity/Dual should see the parity difference")
+	}
+}
+
+func TestOfF32sMatchesManualFold(t *testing.T) {
+	vals := []float32{1, 2.5, -3, 0, 1e20}
+	var want State
+	for _, v := range vals {
+		want.UpdateF32(v)
+	}
+	if got := OfF32s(vals); got != want {
+		t.Errorf("OfF32s = %+v, want %+v", got, want)
+	}
+}
+
+// TestPropertyCommutativeAssociative: merging per-thread partial states in
+// any grouping/order yields the same result — the associativity LP regions
+// rely on for parallel reduction.
+func TestPropertyCommutativeAssociative(t *testing.T) {
+	f := func(vals []uint32, seed int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		sequential := OfU32s(vals)
+
+		// Random partition into partial states, merged in random order.
+		rng := rand.New(rand.NewSource(seed))
+		nParts := 1 + rng.Intn(8)
+		parts := make([]State, nParts)
+		for _, v := range vals {
+			parts[rng.Intn(nParts)].Update(v)
+		}
+		rng.Shuffle(nParts, func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+		var merged State
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		return merged == sequential
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySingleErrorAlwaysDetected: a single lost store that changes
+// a value is always detected by parity, modular, and dual checksums.
+func TestPropertySingleErrorAlwaysDetected(t *testing.T) {
+	g := func(vals []uint32, idx8 uint8, replacement uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		i := int(idx8) % len(vals)
+		if vals[i] == replacement {
+			return true
+		}
+		before := OfU32s(vals)
+		mut := append([]uint32(nil), vals...)
+		mut[i] = replacement
+		after := OfU32s(mut)
+		// A single changed value must be caught by each scheme.
+		return !after.Matches(before, Parity) && !after.Matches(before, Modular) && !after.Matches(before, Dual)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModularMissesCompensatingErrors(t *testing.T) {
+	// Two errors that cancel additively: modular alone is fooled, parity
+	// catches it — the motivation for using both simultaneously.
+	vals := []uint32{100, 200, 300}
+	before := OfU32s(vals)
+	mut := []uint32{101, 199, 300} // +1 and -1
+	after := OfU32s(mut)
+	if !after.Matches(before, Modular) {
+		t.Fatal("expected modular false negative for compensating errors")
+	}
+	if after.Matches(before, Parity) {
+		t.Fatal("parity should catch the compensating pair")
+	}
+	if after.Matches(before, Dual) {
+		t.Fatal("dual must catch whatever either component catches")
+	}
+}
+
+func TestParityMissesDuplicatedError(t *testing.T) {
+	// The same XOR delta applied twice cancels in parity; modular sees it.
+	vals := []uint32{10, 24, 30}
+	before := OfU32s(vals)
+	mut := []uint32{10 ^ 4, 24 ^ 4, 30} // both deltas are +4 additively
+	after := OfU32s(mut)
+	if !after.Matches(before, Parity) {
+		t.Fatal("expected parity false negative for duplicated xor delta")
+	}
+	if after.Matches(before, Modular) || after.Matches(before, Dual) {
+		t.Fatal("modular/dual should catch duplicated xor delta")
+	}
+}
+
+func TestAdlerOrderSensitive(t *testing.T) {
+	a := AdlerOfU32s([]uint32{1, 2, 3})
+	b := AdlerOfU32s([]uint32{3, 2, 1})
+	if a == b {
+		t.Error("Adler-32 should depend on order (that is why the paper rejects it for parallel reduction)")
+	}
+}
+
+func TestMeasureFalseNegativesDetectsMost(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range []Kind{Parity, Modular, Dual, Adler32} {
+		res := MeasureFalseNegatives(rng, k, LostStore, 64, 3, 2000)
+		if res.Trials < 1900 {
+			t.Errorf("%v: too many degenerate trials: %d", k, res.Trials)
+		}
+		if rate := res.FalseNegativeRate(); rate > 1e-3 {
+			t.Errorf("%v: false negative rate %v too high for random errors", k, rate)
+		}
+		if res.Detected+res.FalseNegatives != res.Trials {
+			t.Errorf("%v: counts inconsistent: %+v", k, res)
+		}
+	}
+}
+
+func TestMeasureFalseNegativesSwappedPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Order-insensitive checksums cannot see swaps — 100% false negatives.
+	res := MeasureFalseNegatives(rng, Dual, SwappedPair, 32, 1, 500)
+	if res.FalseNegatives != res.Trials {
+		t.Errorf("dual checksum detected a pure swap: %+v", res)
+	}
+	// Adler-32 sees almost all of them.
+	res = MeasureFalseNegatives(rng, Adler32, SwappedPair, 32, 1, 500)
+	if res.Detected == 0 {
+		t.Errorf("adler32 detected no swaps: %+v", res)
+	}
+}
+
+func TestMeasureFalseNegativesLostLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Line-granular loss — LP's actual failure unit — must be detected
+	// essentially always by the dual checksum.
+	res := MeasureFalseNegatives(rng, Dual, LostLine, 256, 2, 2000)
+	if res.FalseNegatives != 0 {
+		t.Errorf("dual checksum missed %d lost lines", res.FalseNegatives)
+	}
+	if res.Detected == 0 {
+		t.Error("no lost lines detected at all")
+	}
+}
+
+func TestMeasureFalseNegativesPanicsOnTinyRegion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for regionLen < 2")
+		}
+	}()
+	MeasureFalseNegatives(rand.New(rand.NewSource(1)), Dual, LostStore, 1, 1, 1)
+}
+
+func TestCorruptionString(t *testing.T) {
+	if LostStore.String() != "lost-store" || BitFlip.String() != "bit-flip" ||
+		SwappedPair.String() != "swapped-pair" || LostLine.String() != "lost-line" {
+		t.Error("Corruption.String mismatch")
+	}
+	if Corruption(9).String() != "unknown" {
+		t.Error("unknown corruption should format as unknown")
+	}
+}
+
+func TestInjectionResultZeroTrials(t *testing.T) {
+	if (InjectionResult{}).FalseNegativeRate() != 0 {
+		t.Error("zero trials should have rate 0")
+	}
+}

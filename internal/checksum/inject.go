@@ -1,0 +1,138 @@
+package checksum
+
+import "math/rand"
+
+// Corruption models one persistency failure mode for error injection
+// (§IV-B evaluates checksums "through random error injection").
+type Corruption int
+
+const (
+	// LostStore reverts a value to its pre-store contents (the store
+	// never reached NVM) — the canonical LP failure.
+	LostStore Corruption = iota
+	// BitFlip flips one random bit of a value (media error).
+	BitFlip
+	// SwappedPair exchanges two values in place; order-insensitive
+	// checksums cannot detect this by construction, which is fine for
+	// LP (a swap of persisted values is not a persistency failure) but
+	// distinguishes Adler-32's sensitivity.
+	SwappedPair
+	// LostLine reverts a cache-line-sized run of contiguous values to
+	// their pre-store contents — the actual granularity at which lazy
+	// persistency loses data (whole lines that were never evicted).
+	LostLine
+)
+
+// String implements fmt.Stringer.
+func (c Corruption) String() string {
+	switch c {
+	case LostStore:
+		return "lost-store"
+	case BitFlip:
+		return "bit-flip"
+	case SwappedPair:
+		return "swapped-pair"
+	case LostLine:
+		return "lost-line"
+	}
+	return "unknown"
+}
+
+// InjectionResult counts detection outcomes over a batch of trials.
+type InjectionResult struct {
+	Trials         int
+	Detected       int
+	FalseNegatives int
+}
+
+// FalseNegativeRate returns the fraction of corrupted regions whose
+// checksum still matched.
+func (r InjectionResult) FalseNegativeRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.FalseNegatives) / float64(r.Trials)
+}
+
+// MeasureFalseNegatives runs trials of: build a region of regionLen random
+// values with random "old" contents, compute its checksum, corrupt between
+// 1 and maxErrors values with the given corruption kind, recompute, and
+// check whether the mismatch is detected under kind k. The rng makes runs
+// reproducible.
+func MeasureFalseNegatives(rng *rand.Rand, k Kind, c Corruption, regionLen, maxErrors, trials int) InjectionResult {
+	if regionLen < 2 {
+		panic("checksum: regionLen must be at least 2")
+	}
+	res := InjectionResult{Trials: trials}
+	oldVals := make([]uint32, regionLen)
+	vals := make([]uint32, regionLen)
+	for trial := 0; trial < trials; trial++ {
+		for i := range vals {
+			oldVals[i] = rng.Uint32()
+			vals[i] = rng.Uint32()
+		}
+		stored := summarize(k, vals)
+
+		nErr := 1 + rng.Intn(maxErrors)
+		changed := false
+		for e := 0; e < nErr; e++ {
+			i := rng.Intn(regionLen)
+			switch c {
+			case LostStore:
+				if vals[i] != oldVals[i] {
+					changed = true
+				}
+				vals[i] = oldVals[i]
+			case BitFlip:
+				vals[i] ^= 1 << rng.Intn(32)
+				changed = true
+			case SwappedPair:
+				j := rng.Intn(regionLen)
+				if vals[i] != vals[j] {
+					changed = true
+				}
+				vals[i], vals[j] = vals[j], vals[i]
+			case LostLine:
+				// 32 contiguous 4-byte values = one 128-byte line.
+				start := (i / 32) * 32
+				for j := start; j < start+32 && j < regionLen; j++ {
+					if vals[j] != oldVals[j] {
+						changed = true
+					}
+					vals[j] = oldVals[j]
+				}
+			}
+		}
+		if !changed {
+			// Degenerate injection (e.g. old value equaled new);
+			// not a corruption, skip as a trial that cannot be judged.
+			res.Trials--
+			continue
+		}
+		recomputed := summarize(k, vals)
+		if recomputed == stored {
+			res.FalseNegatives++
+		} else {
+			res.Detected++
+		}
+	}
+	return res
+}
+
+// summarize reduces a value slice to a comparable checksum under kind k.
+func summarize(k Kind, vals []uint32) [2]uint64 {
+	switch k {
+	case Adler32:
+		return [2]uint64{uint64(AdlerOfU32s(vals)), 0}
+	default:
+		s := OfU32s(vals)
+		switch k {
+		case Parity:
+			return [2]uint64{s.Par, 0}
+		case Modular:
+			return [2]uint64{s.Mod, 0}
+		default:
+			return [2]uint64{s.Mod, s.Par}
+		}
+	}
+}

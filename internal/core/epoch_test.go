@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// TestEpochSaltDetectsStaleZeroRegions pins the protocol hole epoch
+// salting closes: an iterative application relaunches a kernel that
+// reuses the checksum table; after a crash, a region whose data reverted
+// to all-zeros could falsely validate against a previous launch's
+// checksum entry that also described all-zeros. With per-epoch salts the
+// stale entry can never match the current epoch's recomputation.
+func TestEpochSaltDetectsStaleZeroRegions(t *testing.T) {
+	dev := newTestDevice()
+	grid, blk := gpusim.D1(8), gpusim.D1(32)
+	n := grid.Size() * blk.Size()
+	out := dev.Alloc("out", n*4)
+	out.HostZero()
+	lp := New(dev, DefaultConfig(), grid, blk)
+
+	zeroKernel := func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		b.ForAll(func(th *gpusim.Thread) {
+			th.StoreU32(out, th.GlobalLinear(), 0) // epoch 0 writes zeros
+			r.Update(th, 0)
+		})
+		r.Commit()
+	}
+	recompute := func(b *gpusim.Block, r *Region) {
+		b.ForAll(func(th *gpusim.Thread) {
+			r.Update(th, th.LoadU32(out, th.GlobalLinear()))
+		})
+	}
+
+	// Epoch 0: write zeros, persist everything (entry = checksum of
+	// zeros, salted with epoch 0).
+	lp.SetEpoch(0)
+	dev.Launch("epoch0", grid, blk, zeroKernel)
+	dev.Mem().FlushAll()
+
+	// Epoch 1: overwrite with nonzero values, but crash before anything
+	// persists — durable data reverts to zeros, durable entries to the
+	// epoch-0 checksums of zeros.
+	lp.SetEpoch(1)
+	dev.Launch("epoch1", grid, blk, func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		b.ForAll(func(th *gpusim.Thread) {
+			v := uint32(th.GlobalLinear()) + 1
+			th.StoreU32(out, th.GlobalLinear(), v)
+			r.Update(th, v)
+		})
+		r.Commit()
+	})
+	dev.Mem().Crash()
+
+	failed, _ := lp.Validate(recompute)
+	if len(failed) != grid.Size() {
+		t.Fatalf("stale zero-regions validated: %d/%d failed, want all (epoch salt missing?)",
+			len(failed), grid.Size())
+	}
+}
+
+// TestEpochConsistencyWithinLaunch: commits and validations under the
+// same epoch agree (the salt must be deterministic).
+func TestEpochConsistencyWithinLaunch(t *testing.T) {
+	dev := newTestDevice()
+	grid, blk := gpusim.D1(16), gpusim.D1(64)
+	out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+	out.HostZero()
+	lp := New(dev, DefaultConfig(), grid, blk)
+	lp.SetEpoch(42)
+	if lp.Epoch() != 42 {
+		t.Fatalf("Epoch() = %d", lp.Epoch())
+	}
+	dev.Launch("fill", grid, blk, fillKernel(out, lp))
+	failed, _ := lp.Validate(fillRecompute(out))
+	if len(failed) != 0 {
+		t.Fatalf("same-epoch validation failed %d regions", len(failed))
+	}
+	// A different epoch must reject everything.
+	lp.SetEpoch(43)
+	failed, _ = lp.Validate(fillRecompute(out))
+	if len(failed) != grid.Size() {
+		t.Fatalf("cross-epoch validation passed %d regions", grid.Size()-len(failed))
+	}
+}
+
+// TestIterativeRecoveryAcrossEpochs is the end-to-end Jacobi-style flow:
+// iterate with per-iteration epochs and boundary checkpoints, crash
+// mid-iteration, recover only the in-flight iteration, resume, and match
+// the crash-free reference exactly.
+func TestIterativeRecoveryAcrossEpochs(t *testing.T) {
+	const n, tile, iters, crashAt = 64, 8, 6, 4
+	memCfg := memsim.DefaultConfig()
+	memCfg.CacheBytes = 16 << 10
+	cfg := gpusim.DefaultConfig()
+	cfg.NumSMs = 8
+	dev := gpusim.NewDevice(cfg, memsim.New(memCfg))
+	bufs := [2]memsim.Region{dev.Alloc("a", n*n*4), dev.Alloc("b", n*n*4)}
+	init := make([]float32, n*n)
+	for y := 0; y < n; y++ {
+		init[y*n] = 100
+	}
+	bufs[0].HostWriteF32s(init)
+	bufs[1].HostWriteF32s(init)
+	grid, blk := gpusim.D2(n/tile, n/tile), gpusim.D2(tile, tile)
+	lp := New(dev, DefaultConfig(), grid, blk)
+
+	sweep := func(src, dst memsim.Region) gpusim.KernelFunc {
+		return func(b *gpusim.Block) {
+			r := lp.Begin(b)
+			b.ForAll(func(th *gpusim.Thread) {
+				x := b.Idx.X*tile + th.Idx.X
+				y := b.Idx.Y*tile + th.Idx.Y
+				var v float32
+				if x == 0 || y == 0 || x == n-1 || y == n-1 {
+					v = th.LoadF32(src, y*n+x)
+				} else {
+					v = 0.25 * (th.LoadF32(src, y*n+x-1) + th.LoadF32(src, y*n+x+1) +
+						th.LoadF32(src, (y-1)*n+x) + th.LoadF32(src, (y+1)*n+x))
+				}
+				th.StoreF32(dst, y*n+x, v)
+				r.UpdateF32(th, v)
+			})
+			r.Commit()
+		}
+	}
+	recomputeOf := func(dst memsim.Region) RecomputeFunc {
+		return func(b *gpusim.Block, r *Region) {
+			b.ForAll(func(th *gpusim.Thread) {
+				x := b.Idx.X*tile + th.Idx.X
+				y := b.Idx.Y*tile + th.Idx.Y
+				r.UpdateF32(th, th.LoadF32(dst, y*n+x))
+			})
+		}
+	}
+
+	// Host reference.
+	ga := append([]float32(nil), init...)
+	gb := append([]float32(nil), init...)
+	for it := 0; it < iters; it++ {
+		src, dst := ga, gb
+		if it%2 == 1 {
+			src, dst = gb, ga
+		}
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				dst[y*n+x] = 0.25 * (src[y*n+x-1] + src[y*n+x+1] + src[(y-1)*n+x] + src[(y+1)*n+x])
+			}
+		}
+		for y := 0; y < n; y++ {
+			dst[y*n] = src[y*n]
+			dst[y*n+n-1] = src[y*n+n-1]
+		}
+		for x := 0; x < n; x++ {
+			dst[x] = src[x]
+			dst[(n-1)*n+x] = src[(n-1)*n+x]
+		}
+	}
+	golden := ga
+	if iters%2 == 1 {
+		golden = gb
+	}
+
+	for it := 0; it < crashAt; it++ {
+		lp.SetEpoch(uint64(it))
+		dev.Launch("sweep", grid, blk, sweep(bufs[it%2], bufs[(it+1)%2]))
+		if it < crashAt-1 {
+			lp.Checkpoint()
+		}
+	}
+	dev.Mem().Crash()
+	if _, err := lp.ValidateAndRecover(
+		sweep(bufs[(crashAt-1)%2], bufs[crashAt%2]),
+		recomputeOf(bufs[crashAt%2]), 4); err != nil {
+		t.Fatal(err)
+	}
+	for it := crashAt; it < iters; it++ {
+		lp.SetEpoch(uint64(it))
+		dev.Launch("sweep", grid, blk, sweep(bufs[it%2], bufs[(it+1)%2]))
+		lp.Checkpoint()
+	}
+	final := bufs[iters%2].PeekF32s(n * n)
+	for i := range golden {
+		if final[i] != golden[i] {
+			t.Fatalf("field[%d] = %v after crash/recovery/resume, want %v", i, final[i], golden[i])
+		}
+	}
+}

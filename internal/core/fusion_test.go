@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"gpulp/internal/gpusim"
+	"gpulp/internal/hashtab"
+)
+
+func fusedConfig(f int) Config {
+	cfg := DefaultConfig()
+	cfg.Fusion = f
+	return cfg
+}
+
+func TestFusionRegionsAndTableShrink(t *testing.T) {
+	dev := newTestDevice()
+	grid, blk := gpusim.D1(64), gpusim.D1(64)
+	plain := New(dev, DefaultConfig(), grid, blk)
+
+	dev2 := newTestDevice()
+	fused := New(dev2, fusedConfig(4), grid, blk)
+	if fused.Regions() != 16 || fused.Fusion() != 4 {
+		t.Fatalf("fusion geometry wrong: regions=%d fusion=%d", fused.Regions(), fused.Fusion())
+	}
+	if fused.TableBytes() >= plain.TableBytes() {
+		t.Errorf("fusion did not shrink the checksum table: %d vs %d", fused.TableBytes(), plain.TableBytes())
+	}
+	// Entries grow from 2 to 3 words (the contributor count), so the
+	// shrink is fusion*2/3: 64*16B plain vs 16*24B fused.
+	if plain.TableBytes() != 64*16 || fused.TableBytes() != 16*24 {
+		t.Errorf("table bytes plain=%d fused=%d, want 1024/384", plain.TableBytes(), fused.TableBytes())
+	}
+}
+
+func TestFusionRequiresGlobalArray(t *testing.T) {
+	dev := newTestDevice()
+	cfg := fusedConfig(4)
+	cfg.Store = hashtab.Quad
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fusion with a hash table store did not panic")
+		}
+	}()
+	New(dev, cfg, gpusim.D1(8), gpusim.D1(32))
+}
+
+func TestFusionCleanRunValidates(t *testing.T) {
+	for _, f := range []int{2, 4, 7, 64} { // 7: grid not divisible by fusion
+		dev := newTestDevice()
+		grid, blk := gpusim.D1(64), gpusim.D1(64)
+		out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+		out.HostZero()
+		lp := New(dev, fusedConfig(f), grid, blk)
+		dev.Launch("fill", grid, blk, fillKernel(out, lp))
+		failed, _ := lp.Validate(fillRecompute(out))
+		if len(failed) != 0 {
+			t.Errorf("fusion=%d: clean run failed validation for %d blocks", f, len(failed))
+		}
+	}
+}
+
+func TestFusionDetectsAtGroupGranularity(t *testing.T) {
+	dev := newTestDevice()
+	grid, blk := gpusim.D1(64), gpusim.D1(64)
+	out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+	out.HostZero()
+	const f = 8
+	lp := New(dev, fusedConfig(f), grid, blk)
+	dev.Launch("fill", grid, blk, fillKernel(out, lp))
+	dev.Mem().FlushAll()
+
+	// Durably corrupt exactly one element belonging to block 13.
+	victim := 13*blk.Size() + 5
+	out.Memory().HostWrite(out.Base+uint64(victim*4), []byte{0xff, 0xff, 0xff, 0xfe})
+
+	failed, _ := lp.Validate(fillRecompute(out))
+	// The whole fused group of block 13 must fail — and nothing else.
+	if len(failed) != f {
+		t.Fatalf("failed %d blocks, want the whole group of %d", len(failed), f)
+	}
+	group := 13 / f
+	for _, blkIdx := range failed {
+		if blkIdx/f != group {
+			t.Errorf("block %d outside damaged group %d reported as failed", blkIdx, group)
+		}
+	}
+}
+
+func TestFusionCrashRecoveryRestoresOutput(t *testing.T) {
+	dev := newTestDevice()
+	grid, blk := gpusim.D1(128), gpusim.D1(64)
+	n := grid.Size() * blk.Size()
+	out := dev.Alloc("out", n*4)
+	out.HostZero()
+	lp := New(dev, fusedConfig(4), grid, blk)
+	kernel := fillKernel(out, lp)
+	dev.Launch("fill", grid, blk, kernel)
+
+	golden := make([]uint32, n)
+	for i := range golden {
+		golden[i] = out.PeekU32(i)
+	}
+	dev.Mem().Crash()
+
+	rep, err := lp.ValidateAndRecover(kernel, fillRecompute(out), 4)
+	if err != nil {
+		t.Fatalf("fused recovery failed: %v (%v)", err, rep)
+	}
+	for i := range golden {
+		if out.PeekU32(i) != golden[i] {
+			t.Fatalf("out[%d] wrong after fused recovery", i)
+		}
+	}
+	// Failure counts must be multiples of... not necessarily (tail group),
+	// but recovery must converge to zero.
+	if rep.FailedPerRound[len(rep.FailedPerRound)-1] != 0 {
+		t.Errorf("recovery did not converge: %v", rep)
+	}
+}
+
+func TestFusionReducesInsertTargets(t *testing.T) {
+	// With fusion, many blocks merge into few entries; the store's insert
+	// count still equals the block count (each block contributes once).
+	dev := newTestDevice()
+	grid, blk := gpusim.D1(64), gpusim.D1(64)
+	out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+	out.HostZero()
+	lp := New(dev, fusedConfig(16), grid, blk)
+	dev.Launch("fill", grid, blk, fillKernel(out, lp))
+	if got := lp.Store().Stats().Inserts; got != 64 {
+		t.Errorf("inserts = %d, want 64 (one contribution per block)", got)
+	}
+}
+
+func TestFusionOneIsDefault(t *testing.T) {
+	dev := newTestDevice()
+	lp := New(dev, DefaultConfig(), gpusim.D1(8), gpusim.D1(32))
+	if lp.Fusion() != 1 || lp.Regions() != 8 {
+		t.Errorf("default fusion wrong: %d/%d", lp.Fusion(), lp.Regions())
+	}
+	cfg := DefaultConfig()
+	cfg.Fusion = -3
+	lp2 := New(newTestDevice(), cfg, gpusim.D1(8), gpusim.D1(32))
+	if lp2.Fusion() != 1 {
+		t.Errorf("negative fusion not clamped: %d", lp2.Fusion())
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gpulp/internal/checksum"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/hashtab"
+	"gpulp/internal/memsim"
+)
+
+// TestDesignSpaceMatrixCrashRecovery runs the full §IV design space —
+// every checksum store × locking mode × reduction strategy × checksum
+// kind — through the complete crash/recovery flow with a small cache, and
+// requires exact output restoration from each point. This is the
+// characterization's correctness backbone: whatever the performance of a
+// design point, it must be *sound*.
+func TestDesignSpaceMatrixCrashRecovery(t *testing.T) {
+	stores := []hashtab.Kind{hashtab.Quad, hashtab.Cuckoo, hashtab.GlobalArray, hashtab.Chained}
+	locks := []hashtab.LockMode{hashtab.LockFree, hashtab.LockBased, hashtab.NoAtomic}
+	reductions := []Reduction{ReduceShuffle, ReduceSequential}
+	kinds := []checksum.Kind{checksum.Parity, checksum.Modular, checksum.Dual}
+
+	for _, st := range stores {
+		for _, lm := range locks {
+			if st == hashtab.Chained && lm == hashtab.NoAtomic {
+				continue // chained has no distinct no-atomic variant
+			}
+			for _, red := range reductions {
+				for _, kind := range kinds {
+					cfg := Config{Checksum: kind, Store: st, LockMode: lm, Reduction: red, Seed: 9}
+					name := fmt.Sprintf("%v-%v-%v-%v", st, lm, red, kind)
+					t.Run(name, func(t *testing.T) {
+						runMatrixPoint(t, cfg)
+					})
+				}
+			}
+		}
+	}
+}
+
+func runMatrixPoint(t *testing.T, cfg Config) {
+	t.Helper()
+	devCfg := gpusim.DefaultConfig()
+	devCfg.NumSMs = 4
+	memCfg := memsim.DefaultConfig()
+	memCfg.CacheBytes = 64 << 10
+	dev := gpusim.NewDevice(devCfg, memsim.New(memCfg))
+
+	grid, blk := gpusim.D1(48), gpusim.D1(64)
+	n := grid.Size() * blk.Size()
+	out := dev.Alloc("out", n*4)
+	out.HostZero()
+	lp := New(dev, cfg, grid, blk)
+	kernel := fillKernel(out, lp)
+
+	dev.Launch("fill", grid, blk, kernel)
+	golden := make([]uint32, n)
+	for i := range golden {
+		golden[i] = out.PeekU32(i)
+	}
+	dev.Mem().Crash()
+
+	rep, err := lp.ValidateAndRecover(kernel, fillRecompute(out), 5)
+	if err != nil {
+		t.Fatalf("recovery failed: %v (%v)", err, rep)
+	}
+	for i := range golden {
+		if got := out.PeekU32(i); got != golden[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got, golden[i])
+		}
+	}
+}
+
+// TestMatrixOverheadOrdering: across the design space on one device, the
+// global array is never beaten by a lock-based hash table — the paper's
+// bottom-line ranking.
+func TestMatrixOverheadOrdering(t *testing.T) {
+	run := func(cfg Config) int64 {
+		devCfg := gpusim.DefaultConfig()
+		devCfg.NumSMs = 8
+		dev := gpusim.NewDevice(devCfg, memsim.New(memsim.DefaultConfig()))
+		grid, blk := gpusim.D1(512), gpusim.D1(32)
+		out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+		out.HostZero()
+		cfg.Seed = 3
+		lp := New(dev, cfg, grid, blk)
+		return dev.Launch("fill", grid, blk, fillKernel(out, lp)).Cycles
+	}
+	ga := run(DefaultConfig())
+	quadLock := run(Config{Checksum: checksum.Dual, Store: hashtab.Quad, LockMode: hashtab.LockBased})
+	chainedLock := run(Config{Checksum: checksum.Dual, Store: hashtab.Chained, LockMode: hashtab.LockBased})
+	if !(ga < quadLock && ga < chainedLock) {
+		t.Errorf("global array (%d cycles) beaten by lock-based designs (quad %d, chained %d)",
+			ga, quadLock, chainedLock)
+	}
+}

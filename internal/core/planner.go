@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckpointPlanner selects the periodic whole-cache-flush interval of
+// §IV-A from failure statistics: "The interval period can be selected
+// based on probability of crashes and recovery time to achieve a certain
+// MTBF or availability target." Costs are in simulated cycles, measured
+// from the actual system (lpbench's checkpoint ablation produces them).
+//
+// The model is the classic checkpoint/restart analysis: with checkpoints
+// every Interval cycles of useful work, each period pays FlushCost; a
+// crash (exponential with the given MTBF) loses on average half a period
+// of work plus the fixed recovery cost (validation sweep + re-execution
+// of the damaged tail). Minimizing expected overhead yields the
+// Young-style optimum Interval* = sqrt(2 * FlushCost * MTBF).
+type CheckpointPlanner struct {
+	// FlushCost is the cycles one checkpoint (whole-cache flush) takes.
+	FlushCost float64
+	// ValidateCost is the fixed post-crash validation sweep cost.
+	ValidateCost float64
+	// MTBFCycles is the mean time between failures in cycles.
+	MTBFCycles float64
+}
+
+func (p CheckpointPlanner) check() {
+	if p.FlushCost <= 0 || p.MTBFCycles <= 0 || p.ValidateCost < 0 {
+		panic(fmt.Sprintf("core: invalid planner parameters %+v", p))
+	}
+}
+
+// ExpectedOverhead returns the expected fraction of time lost to
+// persistency bookkeeping (checkpoints) plus crash recovery, for a given
+// checkpoint interval in cycles.
+func (p CheckpointPlanner) ExpectedOverhead(interval float64) float64 {
+	p.check()
+	if interval <= 0 {
+		panic("core: interval must be positive")
+	}
+	// Checkpointing tax: one flush per interval of useful work.
+	checkpointFrac := p.FlushCost / interval
+	// Crash tax: crashes arrive at rate 1/MTBF; each loses half an
+	// interval of work on average and pays validation plus re-execution
+	// of the lost half-interval.
+	crashFrac := (interval/2 + p.ValidateCost + interval/2) / p.MTBFCycles
+	return checkpointFrac + crashFrac
+}
+
+// OptimalInterval returns the overhead-minimizing checkpoint interval in
+// cycles: sqrt(2 * FlushCost * MTBF) under this model (the validation
+// cost is interval-independent and does not move the optimum).
+func (p CheckpointPlanner) OptimalInterval() float64 {
+	p.check()
+	// d/dI [F/I + I/MTBF + V/MTBF] = 0  =>  I = sqrt(F * MTBF).
+	// The lost work counts twice (lost progress + re-execution), so the
+	// crash term is I/MTBF rather than I/(2*MTBF), giving:
+	return math.Sqrt(p.FlushCost * p.MTBFCycles)
+}
+
+// Availability returns the expected fraction of time spent making
+// forward progress at the given interval.
+func (p CheckpointPlanner) Availability(interval float64) float64 {
+	o := p.ExpectedOverhead(interval)
+	return 1 / (1 + o)
+}
+
+// IntervalForAvailability returns the smallest checkpoint interval whose
+// expected availability meets the target, or an error when the target is
+// unreachable even at the optimum.
+func (p CheckpointPlanner) IntervalForAvailability(target float64) (float64, error) {
+	p.check()
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("core: availability target %v out of (0,1)", target)
+	}
+	opt := p.OptimalInterval()
+	if p.Availability(opt) < target {
+		return 0, fmt.Errorf("core: availability %.4f at the optimal interval is below the %.4f target",
+			p.Availability(opt), target)
+	}
+	// The overhead is convex in the interval; binary-search the smaller
+	// root (frequent checkpoints bound recovery time, which is usually
+	// the operational preference).
+	lo, hi := 1e-9, opt
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if p.Availability(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

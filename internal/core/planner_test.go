@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func planner() CheckpointPlanner {
+	return CheckpointPlanner{FlushCost: 2000, ValidateCost: 9000, MTBFCycles: 1e8}
+}
+
+func TestOptimalIntervalFormula(t *testing.T) {
+	p := planner()
+	want := math.Sqrt(p.FlushCost * p.MTBFCycles)
+	if got := p.OptimalInterval(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("OptimalInterval = %v, want %v", got, want)
+	}
+}
+
+func TestOptimalIntervalMinimizesOverhead(t *testing.T) {
+	p := planner()
+	opt := p.OptimalInterval()
+	at := p.ExpectedOverhead(opt)
+	for _, f := range []float64{0.25, 0.5, 2, 4} {
+		if other := p.ExpectedOverhead(opt * f); other < at {
+			t.Errorf("interval %v (overhead %v) beats the optimum %v (overhead %v)",
+				opt*f, other, opt, at)
+		}
+	}
+}
+
+func TestOverheadComponents(t *testing.T) {
+	p := planner()
+	// Very short intervals: checkpoint tax dominates and diverges.
+	if p.ExpectedOverhead(10) < 100 {
+		t.Error("10-cycle intervals should be dominated by flush cost")
+	}
+	// Very long intervals: crash tax grows linearly.
+	long := p.ExpectedOverhead(1e8)
+	longer := p.ExpectedOverhead(2e8)
+	if longer <= long {
+		t.Error("crash tax should grow with the interval")
+	}
+}
+
+func TestAvailabilityMonotoneInMTBF(t *testing.T) {
+	flaky := CheckpointPlanner{FlushCost: 2000, ValidateCost: 9000, MTBFCycles: 1e6}
+	stable := CheckpointPlanner{FlushCost: 2000, ValidateCost: 9000, MTBFCycles: 1e10}
+	if flaky.Availability(flaky.OptimalInterval()) >= stable.Availability(stable.OptimalInterval()) {
+		t.Error("more failures should mean lower best-case availability")
+	}
+}
+
+func TestIntervalForAvailability(t *testing.T) {
+	p := CheckpointPlanner{FlushCost: 2000, ValidateCost: 9000, MTBFCycles: 1e10}
+	iv, err := p.IntervalForAvailability(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Availability(iv); got < 0.999 {
+		t.Errorf("returned interval achieves %v < target", got)
+	}
+	// The returned interval is the small root: a much smaller one must
+	// miss the target (checkpointing too often).
+	if p.Availability(iv*0.01) >= 0.999 {
+		t.Error("returned interval is not near-minimal")
+	}
+	// Unreachable target errors.
+	if _, err := p.IntervalForAvailability(0.9999999); err == nil {
+		t.Error("unreachable availability target accepted")
+	}
+	// Bad targets error.
+	for _, bad := range []float64{0, 1, -1, 2} {
+		if _, err := p.IntervalForAvailability(bad); err == nil {
+			t.Errorf("target %v accepted", bad)
+		}
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	for _, p := range []CheckpointPlanner{
+		{FlushCost: 0, MTBFCycles: 1},
+		{FlushCost: 1, MTBFCycles: 0},
+		{FlushCost: 1, MTBFCycles: 1, ValidateCost: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("planner %+v did not panic", p)
+				}
+			}()
+			p.ExpectedOverhead(100)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive interval did not panic")
+		}
+	}()
+	planner().ExpectedOverhead(0)
+}
+
+// TestPropertyOptimumIsStationary: for arbitrary valid parameters, the
+// closed-form optimum never loses to nearby intervals.
+func TestPropertyOptimumIsStationary(t *testing.T) {
+	f := func(flushRaw, mtbfRaw uint32) bool {
+		p := CheckpointPlanner{
+			FlushCost:    float64(flushRaw%100000) + 1,
+			ValidateCost: 500,
+			MTBFCycles:   float64(mtbfRaw%1000000000) + 1000,
+		}
+		opt := p.OptimalInterval()
+		at := p.ExpectedOverhead(opt)
+		return p.ExpectedOverhead(opt*1.1) >= at-1e-12 && p.ExpectedOverhead(opt*0.9) >= at-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"gpulp/internal/checksum"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/hashtab"
+)
+
+// RecomputeFunc recomputes a block's checksum contributions from the
+// durable contents of memory: it must issue the same Region.Update calls
+// (over re-loaded output data) that the block's original execution issued
+// over its stores. Workloads provide one per kernel; the directive
+// compiler in internal/directive generates the equivalent code from the
+// program slice of the annotated store (§VI, Listing 7).
+type RecomputeFunc func(b *gpusim.Block, r *Region)
+
+// Validate launches the check kernel (§IV-A): a grid of the original
+// geometry in which each block recomputes its checksums from memory;
+// the recomputed values are compared against the durably stored ones
+// region by region (a region covers Fusion consecutive blocks). It
+// returns the linear indices of every block belonging to a failed
+// region, in ascending order, plus the combined launch timing.
+func (lp *LP) Validate(recompute RecomputeFunc) ([]int, gpusim.LaunchResult) {
+	if recompute == nil {
+		panic("core: nil recompute function")
+	}
+	// Phase 1: every block recomputes its (partial) checksum.
+	perBlock := make([]checksum.State, lp.grid.Size())
+	res := lp.dev.Launch("lp-validate", lp.grid, lp.blk, func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		recompute(b, r)
+		perBlock[b.LinearIdx] = r.reduce()
+	})
+	// Combine partials per region (host-visible mirror of what warp 0 of
+	// a gather kernel would compute; checksums are commutative).
+	perRegion := make([]checksum.State, lp.regions)
+	for i, st := range perBlock {
+		perRegion[i/lp.fusion].Merge(st)
+	}
+	// Phase 2: look the stored checksums up and compare. Fused regions
+	// additionally require every member block's contribution to have
+	// persisted (the contributor count must equal the group size).
+	var failedRegions []int
+	lres := lp.dev.Launch("lp-validate-lookup", gpusim.D1(lp.regions), gpusim.D1(32), func(b *gpusim.Block) {
+		b.ForAll(func(t *gpusim.Thread) {
+			if t.Linear != 0 {
+				return
+			}
+			reg := b.LinearIdx
+			if lp.fusion > 1 {
+				stored, count := lp.st.(hashtab.Merger).LookupCount(t, uint64(reg))
+				if count != uint64(lp.groupSize(reg)) || !stored.Matches(perRegion[reg], lp.cfg.Checksum) {
+					failedRegions = append(failedRegions, reg)
+				}
+				return
+			}
+			stored, ok := lp.st.Lookup(t, uint64(reg))
+			if !ok || !stored.Matches(perRegion[reg], lp.cfg.Checksum) {
+				failedRegions = append(failedRegions, reg)
+			}
+		})
+	})
+	res.Cycles += lres.Cycles
+
+	// Expand failed regions to their member blocks.
+	var failed []int
+	for _, reg := range failedRegions {
+		lo := reg * lp.fusion
+		hi := lo + lp.fusion
+		if hi > lp.grid.Size() {
+			hi = lp.grid.Size()
+		}
+		for blk := lo; blk < hi; blk++ {
+			failed = append(failed, blk)
+		}
+	}
+	return failed, res
+}
+
+// RecoveryReport summarizes a ValidateAndRecover run.
+type RecoveryReport struct {
+	// Rounds is the number of validate→re-execute iterations performed.
+	Rounds int
+	// FailedPerRound records how many blocks failed validation each
+	// round (the first entry is the post-crash damage).
+	FailedPerRound []int
+	// ValidateCycles and RecoverCycles are the simulated costs.
+	ValidateCycles int64
+	RecoverCycles  int64
+}
+
+// TotalCycles returns the full recovery cost.
+func (r RecoveryReport) TotalCycles() int64 { return r.ValidateCycles + r.RecoverCycles }
+
+// String implements fmt.Stringer.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf("recovery: %d rounds, failures per round %v, %d validate + %d re-execute cycles",
+		r.Rounds, r.FailedPerRound, r.ValidateCycles, r.RecoverCycles)
+}
+
+// ValidateAndRecover performs eager recovery (§II-A): validate all
+// regions, re-execute the failed ones with the original kernel (LP
+// regions here are idempotent at block granularity, the common case
+// §IV-A identifies), flush to make the repairs durable, and repeat until
+// a validation round passes clean. maxRounds bounds the loop; it returns
+// an error if the system cannot be repaired within the bound.
+func (lp *LP) ValidateAndRecover(kernel gpusim.KernelFunc, recompute RecomputeFunc, maxRounds int) (RecoveryReport, error) {
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+	var rep RecoveryReport
+	for round := 0; round < maxRounds; round++ {
+		failed, vres := lp.Validate(recompute)
+		rep.Rounds++
+		rep.ValidateCycles += vres.Cycles
+		rep.FailedPerRound = append(rep.FailedPerRound, len(failed))
+		if len(failed) == 0 {
+			return rep, nil
+		}
+		// Fused regions accumulate contributions, so a failed region's
+		// entry must be re-initialized before its blocks re-merge.
+		if lp.fusion > 1 {
+			merger := lp.st.(hashtab.Merger)
+			seen := map[int]bool{}
+			for _, blk := range failed {
+				if reg := blk / lp.fusion; !seen[reg] {
+					seen[reg] = true
+					merger.HostResetEntry(uint64(reg))
+				}
+			}
+		}
+		rres := lp.dev.LaunchSelected("lp-recover", lp.grid, lp.blk, kernel, failed)
+		rep.RecoverCycles += rres.Cycles
+		// Eager recovery guarantees forward progress by making the
+		// repaired regions durable immediately.
+		lp.dev.Mem().FlushAll()
+	}
+	failed, vres := lp.Validate(recompute)
+	rep.ValidateCycles += vres.Cycles
+	rep.FailedPerRound = append(rep.FailedPerRound, len(failed))
+	if len(failed) != 0 {
+		return rep, fmt.Errorf("core: %d regions still invalid after %d recovery rounds", len(failed), maxRounds)
+	}
+	return rep, nil
+}

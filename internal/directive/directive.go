@@ -1,0 +1,384 @@
+// Package directive implements the paper's directive-based programming
+// support (§VI): a source-to-source translator that recognizes
+//
+//	#pragma nvm lpcuda_init(checksum_tab_id, nelems, selem)
+//	#pragma nvm lpcuda_checksum(checksum_type, checksum_tab_id, key1, ...)
+//
+// in CUDA-style source text and generates (a) the instrumented host and
+// kernel code — a runtime call that initializes the checksum table, a
+// per-store checksum update, and a block-level commit at kernel end —
+// and (b) the check-and-recovery kernel of Listing 7, built from the
+// program slice of the annotated store's address computation.
+//
+// Compilers that do not understand the directives simply ignore them, as
+// the paper requires; this translator is the reference implementation of
+// what a directive-aware compiler inserts. The directives carry no
+// CUDA-specific semantics, so the same translation applies to OpenCL
+// kernels.
+package directive
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// TableInit is a parsed lpcuda_init directive.
+type TableInit struct {
+	// Name is the checksum table identifier.
+	Name string
+	// NElems is the element-count expression (e.g. "grid.x*grid.y").
+	NElems string
+	// SElem is the checksums-per-element expression.
+	SElem string
+	// Line is the 1-based source line of the pragma.
+	Line int
+}
+
+// ChecksumDirective is a parsed lpcuda_checksum directive together with
+// the statement it annotates.
+type ChecksumDirective struct {
+	// Op is the checksum operator: "+" (modular) or "^" (parity).
+	Op string
+	// Table is the checksum table identifier.
+	Table string
+	// Keys are the table-indexing key expressions.
+	Keys []string
+	// Kernel is the enclosing kernel name.
+	Kernel string
+	// LHS and RHS are the sides of the annotated store statement.
+	LHS string
+	RHS string
+	// Line is the 1-based source line of the pragma.
+	Line int
+}
+
+// Output is the result of a translation.
+type Output struct {
+	// Instrumented is the input with directives replaced by runtime
+	// calls (init, per-store update, block commit).
+	Instrumented string
+	// Recovery is the generated check-and-recovery code: one
+	// cr<Kernel> validation kernel plus one recovery_<Kernel> device
+	// function per instrumented kernel.
+	Recovery string
+	// Tables and Checksums are the parsed directives.
+	Tables    []TableInit
+	Checksums []ChecksumDirective
+}
+
+// Error is a translation error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("directive: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var (
+	pragmaRe     = regexp.MustCompile(`^\s*#pragma\s+nvm\s+(lpcuda_init|lpcuda_checksum)\s*\((.*)\)\s*$`)
+	kernelRe     = regexp.MustCompile(`__global__\s+void\s+([A-Za-z_]\w*)\s*\(`)
+	assignRe     = regexp.MustCompile(`^\s*(?:(?:const\s+)?(?:unsigned\s+)?[A-Za-z_]\w*(?:\s*\*+)?\s+)?([A-Za-z_]\w*(?:\s*\[[^\]]*\])?)\s*([-+*/|&^]?=)\s*(.+);\s*$`)
+	identRe      = regexp.MustCompile(`[A-Za-z_]\w*`)
+	builtinIdent = map[string]bool{
+		"blockIdx": true, "threadIdx": true, "blockDim": true, "gridDim": true,
+		"x": true, "y": true, "z": true, "if": true, "for": true, "while": true,
+		"return": true, "int": true, "float": true, "double": true, "void": true,
+		"unsigned": true, "const": true, "__shared__": true, "__syncthreads": true,
+	}
+)
+
+// splitArgs splits a pragma argument list at top-level commas, respecting
+// quotes and parentheses.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			inStr = !inStr
+		case inStr:
+		case c == '(' || c == '[':
+			depth++
+		case c == ')' || c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+// kernelSpan tracks an open kernel definition during scanning.
+type kernelSpan struct {
+	name      string
+	startLine int // line of the opening brace
+	depth     int
+	bodyLines []int // indices of lines inside the body
+	params    string
+}
+
+// Translate processes the annotated source and produces the instrumented
+// program plus the generated check-and-recovery code.
+func Translate(src string) (*Output, error) {
+	lines := strings.Split(src, "\n")
+	out := &Output{}
+	instrumented := make([]string, 0, len(lines)+16)
+
+	var kernels []kernelSpan
+	var current *kernelSpan
+	var pendingChecksum *ChecksumDirective
+	// kernel name -> directives inside it, for commit/recovery generation.
+	perKernel := map[string][]*ChecksumDirective{}
+	depthBefore := 0
+	for i, raw := range lines {
+		lineNo := i + 1
+
+		if m := pragmaRe.FindStringSubmatch(raw); m != nil {
+			args := splitArgs(m[2])
+			switch m[1] {
+			case "lpcuda_init":
+				if len(args) != 3 {
+					return nil, errf(lineNo, "lpcuda_init takes 3 arguments, got %d", len(args))
+				}
+				ti := TableInit{Name: args[0], NElems: args[1], SElem: args[2], Line: lineNo}
+				out.Tables = append(out.Tables, ti)
+				indent := raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))]
+				instrumented = append(instrumented,
+					fmt.Sprintf("%slpcudaInitChecksumTable(&%s, %s, %s);", indent, ti.Name, ti.NElems, ti.SElem))
+				continue
+			case "lpcuda_checksum":
+				if len(args) < 3 {
+					return nil, errf(lineNo, "lpcuda_checksum takes at least 3 arguments, got %d", len(args))
+				}
+				if current == nil {
+					return nil, errf(lineNo, "lpcuda_checksum outside a __global__ kernel")
+				}
+				op := strings.Trim(args[0], `"`)
+				if op != "+" && op != "^" {
+					return nil, errf(lineNo, "unknown checksum type %q (want \"+\" or \"^\")", args[0])
+				}
+				pendingChecksum = &ChecksumDirective{
+					Op: op, Table: args[1], Keys: args[2:],
+					Kernel: current.name, Line: lineNo,
+				}
+				continue // the pragma line itself is dropped
+			}
+		}
+
+		// Track kernel definitions.
+		if m := kernelRe.FindStringSubmatch(raw); m != nil && current == nil {
+			current = &kernelSpan{name: m[1], startLine: lineNo}
+			// Capture the parameter list (possibly spanning lines until ')').
+			rest := raw[strings.Index(raw, m[0])+len(m[0]):]
+			params := rest
+			for d, j := 1, i; d > 0; {
+				if idx := scanParens(params, &d); idx >= 0 {
+					params = params[:idx]
+					break
+				}
+				j++
+				if j >= len(lines) {
+					return nil, errf(lineNo, "unterminated parameter list for kernel %s", m[1])
+				}
+				params += " " + strings.TrimSpace(lines[j])
+			}
+			current.params = strings.TrimSpace(params)
+		}
+
+		// Consume the statement a pending checksum directive annotates.
+		if pendingChecksum != nil && strings.TrimSpace(raw) != "" {
+			am := assignRe.FindStringSubmatch(raw)
+			if am == nil || am[2] != "=" {
+				return nil, errf(lineNo, "lpcuda_checksum must annotate a simple assignment, got %q", strings.TrimSpace(raw))
+			}
+			pendingChecksum.LHS = strings.TrimSpace(am[1])
+			pendingChecksum.RHS = strings.TrimSpace(am[3])
+			out.Checksums = append(out.Checksums, *pendingChecksum)
+			perKernel[pendingChecksum.Kernel] = append(perKernel[pendingChecksum.Kernel], pendingChecksum)
+			indent := raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))]
+			instrumented = append(instrumented, raw,
+				fmt.Sprintf("%slpChecksumUpdate(&%s, \"%s\", %s);", indent, pendingChecksum.Table, pendingChecksum.Op, pendingChecksum.RHS))
+			pendingChecksum = nil
+			if current != nil {
+				current.bodyLines = append(current.bodyLines, i)
+			}
+			depthBefore += strings.Count(raw, "{") - strings.Count(raw, "}")
+			continue
+		}
+
+		// Brace tracking for kernel body extent: body lines are those
+		// strictly inside the outermost braces.
+		opens := strings.Count(raw, "{")
+		closes := strings.Count(raw, "}")
+		if current != nil && depthBefore > 0 {
+			current.bodyLines = append(current.bodyLines, i)
+		}
+		depthBefore += opens - closes
+		if current != nil && depthBefore == 0 && closes > 0 {
+			// Drop the closing-brace line from the body.
+			if n := len(current.bodyLines); n > 0 && current.bodyLines[n-1] == i {
+				current.bodyLines = current.bodyLines[:n-1]
+			}
+			// Inject the block-level commit just before the closing
+			// brace if the kernel has checksum directives.
+			if dirs := perKernel[current.name]; len(dirs) > 0 {
+				d := dirs[0]
+				instrumented = append(instrumented,
+					fmt.Sprintf("    lpChecksumCommit(&%s, %s);", d.Table, strings.Join(d.Keys, ", ")))
+			}
+			kernels = append(kernels, *current)
+			current = nil
+		}
+		instrumented = append(instrumented, raw)
+	}
+	if pendingChecksum != nil {
+		return nil, errf(pendingChecksum.Line, "lpcuda_checksum not followed by a statement")
+	}
+	if current != nil {
+		return nil, errf(current.startLine, "unterminated kernel %s", current.name)
+	}
+
+	out.Instrumented = strings.Join(instrumented, "\n")
+
+	// Generate the check-and-recovery code per instrumented kernel.
+	var rec strings.Builder
+	for _, k := range kernels {
+		dirs := perKernel[k.name]
+		if len(dirs) == 0 {
+			continue
+		}
+		genRecovery(&rec, lines, k, dirs)
+	}
+	out.Recovery = rec.String()
+	return out, nil
+}
+
+// scanParens advances depth d over s, returning the index of the
+// balancing ')' or -1 if not found in s.
+func scanParens(s string, d *int) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			*d++
+		case ')':
+			*d--
+			if *d == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// identsOf returns the non-builtin identifiers in an expression.
+func identsOf(expr string) []string {
+	var out []string
+	for _, id := range identRe.FindAllString(expr, -1) {
+		if !builtinIdent[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// genRecovery emits the Listing 7 check-and-recovery kernel for one
+// annotated kernel: the program slice that recomputes the stored
+// element's location, a validation call comparing the recomputed
+// checksum against the table, and an invocation of the recovery
+// function (the original kernel body) on failure.
+func genRecovery(w *strings.Builder, lines []string, k kernelSpan, dirs []*ChecksumDirective) {
+	d := dirs[0]
+
+	// Program slice: walk the kernel body backwards from the annotated
+	// store, keeping assignments that (transitively) feed the LHS
+	// address expression.
+	needed := map[string]bool{}
+	for _, id := range identsOf(d.LHS) {
+		needed[id] = true
+	}
+	var slice []string
+	for i := len(k.bodyLines) - 1; i >= 0; i-- {
+		raw := lines[k.bodyLines[i]]
+		am := assignRe.FindStringSubmatch(raw)
+		if am == nil {
+			continue
+		}
+		target := strings.TrimSpace(am[1])
+		if idx := strings.IndexByte(target, '['); idx >= 0 {
+			target = target[:idx]
+		}
+		if target == strings.TrimSpace(d.LHS) || raw == "" {
+			continue
+		}
+		if !needed[target] {
+			continue
+		}
+		if strings.TrimSpace(am[1])+am[2]+am[3] == d.LHS+"="+d.RHS {
+			continue // the annotated store itself
+		}
+		slice = append([]string{strings.TrimSpace(raw)}, slice...)
+		for _, id := range identsOf(am[3]) {
+			needed[id] = true
+		}
+	}
+
+	paramNames := paramNamesOf(k.params)
+
+	fmt.Fprintf(w, "// Check-and-recovery kernel for %s, generated from the\n", k.name)
+	fmt.Fprintf(w, "// lpcuda_checksum directive at line %d (program slice of %s).\n", d.Line, d.LHS)
+	fmt.Fprintf(w, "__global__ void cr%s(%s) {\n", capitalize(k.name), k.params)
+	for _, s := range slice {
+		fmt.Fprintf(w, "    %s\n", s)
+	}
+	fmt.Fprintf(w, "    if (!lpValidate(%s, %s, %s))\n", d.LHS, d.Table, strings.Join(d.Keys, ", "))
+	fmt.Fprintf(w, "        recovery_%s(%s);\n", k.name, strings.Join(paramNames, ", "))
+	fmt.Fprintf(w, "}\n\n")
+
+	// The recovery function is the original kernel body (LP regions are
+	// thread blocks, usually idempotent — §IV-A).
+	fmt.Fprintf(w, "// Recovery function for %s: re-executes the original region body.\n", k.name)
+	fmt.Fprintf(w, "__device__ void recovery_%s(%s) {\n", k.name, k.params)
+	for _, li := range k.bodyLines {
+		line := strings.TrimRight(lines[li], " \t")
+		if strings.TrimSpace(line) == "" || pragmaRe.MatchString(line) {
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", line)
+	}
+	fmt.Fprintf(w, "}\n")
+}
+
+// paramNamesOf extracts the parameter names from a C parameter list.
+func paramNamesOf(params string) []string {
+	var names []string
+	for _, p := range splitArgs(params) {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		ids := identRe.FindAllString(p, -1)
+		if len(ids) > 0 {
+			names = append(names, ids[len(ids)-1])
+		}
+	}
+	return names
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,90 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiLineKernelSignature(t *testing.T) {
+	src := `__global__ void longSig(float *out,
+                        float *in,
+                        int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float v = in[i];
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[i] = v;
+}
+`
+	out := mustTranslate(t, src)
+	if len(out.Checksums) != 1 {
+		t.Fatalf("checksums = %d", len(out.Checksums))
+	}
+	if !strings.Contains(out.Recovery, "recovery_longSig(out, in, n);") {
+		t.Errorf("multi-line signature params not recovered:\n%s", out.Recovery)
+	}
+}
+
+func TestCompoundAssignmentRejected(t *testing.T) {
+	src := `__global__ void k(float *out) {
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[0] += 1;
+}
+`
+	if _, err := Translate(src); err == nil {
+		t.Fatal("compound assignment should not be annotatable (the folded value is not the stored value)")
+	}
+}
+
+func TestPragmaWithBlankLineBeforeStatement(t *testing.T) {
+	src := `__global__ void k(float *out) {
+    float v = 1;
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+
+    out[0] = v;
+}
+`
+	out := mustTranslate(t, src)
+	if out.Checksums[0].LHS != "out[0]" {
+		t.Errorf("blank line broke statement attachment: %+v", out.Checksums[0])
+	}
+}
+
+func TestSliceFollowsTransitiveDependencies(t *testing.T) {
+	src := `__global__ void k(float *out, int stride) {
+    int base = blockIdx.x * stride;
+    int off = base * 2;
+    int unrelated = 99;
+    float v = g(unrelated);
+#pragma nvm lpcuda_checksum("+", tab, blockIdx.x)
+    out[off + threadIdx.x] = v;
+}
+`
+	out := mustTranslate(t, src)
+	head := out.Recovery[:strings.Index(out.Recovery, "lpValidate")]
+	if !strings.Contains(head, "int off = base * 2;") || !strings.Contains(head, "int base = blockIdx.x * stride;") {
+		t.Errorf("transitive address dependencies missing from slice:\n%s", head)
+	}
+	if strings.Contains(head, "unrelated") {
+		t.Errorf("slice dragged in an unrelated statement:\n%s", head)
+	}
+}
+
+func TestInstrumentedPreservesUnrelatedLines(t *testing.T) {
+	out := mustTranslate(t, paperSource)
+	for _, line := range []string{
+		"int bx = blockIdx.x;",
+		"float Csub = computeTile(A, B, wA, wB);",
+		"MatrixMulCUDA<<<grid, threads, 0, stream>>>(d_C, d_A, d_B, dimsA.x, dimsB.x);",
+	} {
+		if !strings.Contains(out.Instrumented, line) {
+			t.Errorf("instrumented output lost %q", line)
+		}
+	}
+}
+
+func TestErrorMessageFormat(t *testing.T) {
+	_, err := Translate("#pragma nvm lpcuda_init(x)\n")
+	if err == nil || !strings.Contains(err.Error(), "directive: line 1") {
+		t.Errorf("error lacks position prefix: %v", err)
+	}
+}

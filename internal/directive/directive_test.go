@@ -1,0 +1,270 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperSource is Listings 5 and 6 from the paper: the host launch with an
+// lpcuda_init directive and the matrix-multiply kernel with an
+// lpcuda_checksum directive on the C store.
+const paperSource = `__global__ void MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB) {
+    int bx = blockIdx.x;
+    int by = blockIdx.y;
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    float Csub = computeTile(A, B, wA, wB);
+    int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;
+#pragma nvm lpcuda_checksum("+", checksumMM, blockIdx.x, blockIdx.y)
+    C[c + wB * ty + tx] = Csub;
+}
+
+void host() {
+#pragma nvm lpcuda_init(checksumMM, grid.x*grid.y, 1)
+    MatrixMulCUDA<<<grid, threads, 0, stream>>>(d_C, d_A, d_B, dimsA.x, dimsB.x);
+}
+`
+
+func mustTranslate(t *testing.T, src string) *Output {
+	t.Helper()
+	out, err := Translate(src)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	return out
+}
+
+func TestPaperListingParses(t *testing.T) {
+	out := mustTranslate(t, paperSource)
+
+	if len(out.Tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(out.Tables))
+	}
+	ti := out.Tables[0]
+	if ti.Name != "checksumMM" || ti.NElems != "grid.x*grid.y" || ti.SElem != "1" {
+		t.Errorf("bad table init: %+v", ti)
+	}
+
+	if len(out.Checksums) != 1 {
+		t.Fatalf("checksums = %d, want 1", len(out.Checksums))
+	}
+	cd := out.Checksums[0]
+	if cd.Op != "+" || cd.Table != "checksumMM" || cd.Kernel != "MatrixMulCUDA" {
+		t.Errorf("bad checksum directive: %+v", cd)
+	}
+	if len(cd.Keys) != 2 || cd.Keys[0] != "blockIdx.x" || cd.Keys[1] != "blockIdx.y" {
+		t.Errorf("bad keys: %v", cd.Keys)
+	}
+	if cd.LHS != "C[c + wB * ty + tx]" || cd.RHS != "Csub" {
+		t.Errorf("bad annotated statement: LHS=%q RHS=%q", cd.LHS, cd.RHS)
+	}
+}
+
+func TestInstrumentedCode(t *testing.T) {
+	out := mustTranslate(t, paperSource)
+	ins := out.Instrumented
+
+	for _, want := range []string{
+		// Host init runtime call replaces the init pragma.
+		"lpcudaInitChecksumTable(&checksumMM, grid.x*grid.y, 1);",
+		// Per-store checksum update follows the annotated store.
+		`lpChecksumUpdate(&checksumMM, "+", Csub);`,
+		// Block commit injected before the kernel's closing brace.
+		"lpChecksumCommit(&checksumMM, blockIdx.x, blockIdx.y);",
+	} {
+		if !strings.Contains(ins, want) {
+			t.Errorf("instrumented code missing %q\n---\n%s", want, ins)
+		}
+	}
+	if strings.Contains(ins, "#pragma nvm") {
+		t.Error("pragmas leaked into instrumented output")
+	}
+	// The original store must survive, before the update call.
+	storeIdx := strings.Index(ins, "C[c + wB * ty + tx] = Csub;")
+	updateIdx := strings.Index(ins, "lpChecksumUpdate")
+	if storeIdx < 0 || updateIdx < 0 || updateIdx < storeIdx {
+		t.Error("checksum update must directly follow the annotated store")
+	}
+	// Commit must come after the update.
+	if commitIdx := strings.Index(ins, "lpChecksumCommit"); commitIdx < updateIdx {
+		t.Error("commit must follow the update")
+	}
+}
+
+func TestRecoveryKernelGenerated(t *testing.T) {
+	out := mustTranslate(t, paperSource)
+	rec := out.Recovery
+
+	for _, want := range []string{
+		// Listing 7's kernel name and signature.
+		"__global__ void crMatrixMulCUDA(float *C, float *A, float *B, int wA, int wB)",
+		// The program slice reconstructing the element pointer.
+		"int bx = blockIdx.x;",
+		"int by = blockIdx.y;",
+		"int tx = threadIdx.x;",
+		"int ty = threadIdx.y;",
+		"int c = wB * BLOCK_SIZE * by + BLOCK_SIZE * bx;",
+		// Validation against the table with the directive keys.
+		"if (!lpValidate(C[c + wB * ty + tx], checksumMM, blockIdx.x, blockIdx.y))",
+		// Recovery invocation with the kernel's parameters.
+		"recovery_MatrixMulCUDA(C, A, B, wA, wB);",
+		// The recovery function reproduces the original body.
+		"__device__ void recovery_MatrixMulCUDA(float *C, float *A, float *B, int wA, int wB)",
+	} {
+		if !strings.Contains(rec, want) {
+			t.Errorf("recovery code missing %q\n---\n%s", want, rec)
+		}
+	}
+	// The slice must not drag in the Csub computation (it does not feed
+	// the address expression).
+	head := rec[:strings.Index(rec, "lpValidate")]
+	if strings.Contains(head, "computeTile") {
+		t.Error("program slice included a statement that does not feed the address")
+	}
+	// The recovery body must not contain pragmas.
+	if strings.Contains(rec, "#pragma") {
+		t.Error("pragma leaked into recovery code")
+	}
+}
+
+func TestParityOperator(t *testing.T) {
+	src := strings.Replace(paperSource, `"+"`, `"^"`, 1)
+	out := mustTranslate(t, src)
+	if out.Checksums[0].Op != "^" {
+		t.Errorf("op = %q, want ^", out.Checksums[0].Op)
+	}
+	if !strings.Contains(out.Instrumented, `lpChecksumUpdate(&checksumMM, "^", Csub);`) {
+		t.Error("parity update call missing")
+	}
+}
+
+func TestMultipleKeys(t *testing.T) {
+	src := strings.Replace(paperSource,
+		`lpcuda_checksum("+", checksumMM, blockIdx.x, blockIdx.y)`,
+		`lpcuda_checksum("+", checksumMM, blockIdx.x, blockIdx.y, bx)`, 1)
+	out := mustTranslate(t, src)
+	if len(out.Checksums[0].Keys) != 3 {
+		t.Errorf("keys = %v, want 3", out.Checksums[0].Keys)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"init arity",
+			"#pragma nvm lpcuda_init(tab, 10)\n",
+			"lpcuda_init takes 3 arguments",
+		},
+		{
+			"checksum arity",
+			"__global__ void k() {\n#pragma nvm lpcuda_checksum(\"+\", tab)\nx = 1;\n}\n",
+			"at least 3 arguments",
+		},
+		{
+			"checksum outside kernel",
+			"#pragma nvm lpcuda_checksum(\"+\", tab, blockIdx.x)\nx = 1;\n",
+			"outside a __global__ kernel",
+		},
+		{
+			"bad operator",
+			"__global__ void k() {\n#pragma nvm lpcuda_checksum(\"*\", tab, blockIdx.x)\nx = 1;\n}\n",
+			"unknown checksum type",
+		},
+		{
+			"not an assignment",
+			"__global__ void k() {\n#pragma nvm lpcuda_checksum(\"+\", tab, blockIdx.x)\nreturn;\n}\n",
+			"must annotate a simple assignment",
+		},
+		{
+			"dangling directive",
+			"__global__ void k() {\n    int x = 0;\n}\n#pragma nvm lpcuda_checksum(\"+\", tab, blockIdx.x)",
+			"outside a __global__ kernel",
+		},
+		{
+			"unterminated kernel",
+			"__global__ void k() {\n    int x = 0;\n",
+			"unterminated kernel",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Translate(tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorCarriesLine(t *testing.T) {
+	_, err := Translate("line one\n#pragma nvm lpcuda_init(tab, 10)\n")
+	var de *Error
+	if e, ok := err.(*Error); ok {
+		de = e
+	} else {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if de.Line != 2 {
+		t.Errorf("error line = %d, want 2", de.Line)
+	}
+}
+
+func TestUntouchedSourcePassesThrough(t *testing.T) {
+	src := "int main() {\n    return 0;\n}\n"
+	out := mustTranslate(t, src)
+	if out.Instrumented != src {
+		t.Errorf("pragma-free source modified:\n%s", out.Instrumented)
+	}
+	if out.Recovery != "" {
+		t.Error("recovery generated for pragma-free source")
+	}
+}
+
+func TestKernelWithoutDirectivesUntouched(t *testing.T) {
+	src := "__global__ void plain(int *p) {\n    p[0] = 1;\n}\n"
+	out := mustTranslate(t, src)
+	if strings.Contains(out.Instrumented, "lpChecksum") {
+		t.Error("undirected kernel was instrumented")
+	}
+}
+
+func TestTwoKernels(t *testing.T) {
+	src := paperSource + `
+__global__ void Other(float *out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float v = work(i, n);
+#pragma nvm lpcuda_checksum("^", checksumOther, blockIdx.x)
+    out[i] = v;
+}
+`
+	out := mustTranslate(t, src)
+	if len(out.Checksums) != 2 {
+		t.Fatalf("checksums = %d, want 2", len(out.Checksums))
+	}
+	if !strings.Contains(out.Recovery, "crOther") || !strings.Contains(out.Recovery, "crMatrixMulCUDA") {
+		t.Error("recovery kernels missing for one of the two kernels")
+	}
+	if !strings.Contains(out.Recovery, "recovery_Other(out, n);") {
+		t.Errorf("recovery call for Other wrong:\n%s", out.Recovery)
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	got := splitArgs(`"+", tab, f(a, b), x[i, j], "a,b"`)
+	want := []string{`"+"`, "tab", "f(a, b)", "x[i, j]", `"a,b"`}
+	if len(got) != len(want) {
+		t.Fatalf("splitArgs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("arg %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

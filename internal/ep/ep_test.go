@@ -1,0 +1,240 @@
+package ep
+
+import (
+	"testing"
+
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+func newTestDevice(cacheBytes int) *gpusim.Device {
+	cfg := gpusim.DefaultConfig()
+	cfg.NumSMs = 8
+	memCfg := memsim.DefaultConfig()
+	if cacheBytes > 0 {
+		memCfg.CacheBytes = cacheBytes
+	}
+	return gpusim.NewDevice(cfg, memsim.New(memCfg))
+}
+
+// fillKernel stores a deterministic value per thread.
+func fillKernel(out memsim.Region) gpusim.KernelFunc {
+	return func(b *gpusim.Block) {
+		b.ForAll(func(t *gpusim.Thread) {
+			gid := t.GlobalLinear()
+			t.StoreU32(out, gid, uint32(gid)*2654435761+7)
+		})
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	dev := newTestDevice(0)
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"empty grid", func() { New(dev, gpusim.D1(0), gpusim.D1(32), 4) }},
+		{"zero entries", func() { New(dev, gpusim.D1(1), gpusim.D1(32), 0) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestWrapValidation(t *testing.T) {
+	dev := newTestDevice(0)
+	e := New(dev, gpusim.D1(1), gpusim.D1(32), 32)
+	t.Run("nil kernel", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		e.Wrap(nil, memsim.Region{})
+	})
+	t.Run("no regions", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		e.Wrap(func(b *gpusim.Block) {})
+	})
+}
+
+func TestCommittedBlocksRecoverByReplay(t *testing.T) {
+	// Small cache: data lines may be lost, but the flushed redo log and
+	// commit flags survive, so replay restores everything without any
+	// re-execution.
+	dev := newTestDevice(32 << 10)
+	grid, blk := gpusim.D1(64), gpusim.D1(64)
+	n := grid.Size() * blk.Size()
+	out := dev.Alloc("out", n*4)
+	out.HostZero()
+
+	e := New(dev, grid, blk, blk.Size())
+	dev.Launch("fill", grid, blk, e.Wrap(fillKernel(out), out))
+
+	dev.Mem().Crash()
+
+	rep := e.Recover()
+	if rep.Committed != grid.Size() {
+		t.Fatalf("committed = %d, want all %d (commit flags are flushed+fenced)", rep.Committed, grid.Size())
+	}
+	if len(rep.Uncommitted) != 0 {
+		t.Fatalf("uncommitted blocks despite fenced commits: %v", rep.Uncommitted)
+	}
+	if rep.Replayed != n {
+		t.Fatalf("replayed %d records, want %d", rep.Replayed, n)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := out.NVMU32(i), uint32(i)*2654435761+7; got != want {
+			t.Fatalf("durable out[%d] = %d after replay, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEPOverheadExceedsBaseline(t *testing.T) {
+	grid, blk := gpusim.D1(128), gpusim.D1(64)
+	run := func(ep bool) int64 {
+		dev := newTestDevice(0)
+		out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+		out.HostZero()
+		kernel := fillKernel(out)
+		if ep {
+			e := New(dev, grid, blk, blk.Size())
+			kernel = e.Wrap(kernel, out)
+		}
+		return dev.Launch("fill", grid, blk, kernel).Cycles
+	}
+	base, eager := run(false), run(true)
+	if eager <= base {
+		t.Errorf("EP (%d cycles) not slower than baseline (%d)", eager, base)
+	}
+}
+
+func TestEPWriteAmplification(t *testing.T) {
+	grid, blk := gpusim.D1(64), gpusim.D1(64)
+	run := func(ep bool) int64 {
+		dev := newTestDevice(0)
+		out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+		out.HostZero()
+		kernel := fillKernel(out)
+		if ep {
+			e := New(dev, grid, blk, blk.Size())
+			kernel = e.Wrap(kernel, out)
+		}
+		dev.Mem().ResetStats()
+		dev.Launch("fill", grid, blk, kernel)
+		dev.Mem().FlushAll()
+		return dev.Mem().Stats().NVMLineWrites
+	}
+	base, eager := run(false), run(true)
+	// The redo log is 16B per 4B store: at least 4x the data volume.
+	if eager < base*3 {
+		t.Errorf("EP write amplification too low: %d vs baseline %d lines", eager, base)
+	}
+}
+
+func TestLogOverflowPanics(t *testing.T) {
+	dev := newTestDevice(0)
+	grid, blk := gpusim.D1(1), gpusim.D1(32)
+	out := dev.Alloc("out", 64*4)
+	out.HostZero()
+	e := New(dev, grid, blk, 8) // too small for 32 stores
+	defer func() {
+		if recover() == nil {
+			t.Fatal("log overflow did not panic")
+		}
+	}()
+	dev.Launch("fill", grid, blk, e.Wrap(fillKernel(out), out))
+}
+
+func TestUnprotectedStoresNotLogged(t *testing.T) {
+	dev := newTestDevice(0)
+	grid, blk := gpusim.D1(2), gpusim.D1(32)
+	out := dev.Alloc("out", 64*4)
+	scratch := dev.Alloc("scratch", 64*4)
+	out.HostZero()
+	scratch.HostZero()
+	e := New(dev, grid, blk, blk.Size())
+	kernel := func(b *gpusim.Block) {
+		b.ForAll(func(t *gpusim.Thread) {
+			t.StoreU32(scratch, t.GlobalLinear(), 1) // not protected
+			t.StoreU32(out, t.GlobalLinear(), 2)
+		})
+	}
+	dev.Launch("fill", grid, blk, e.Wrap(kernel, out))
+	dev.Mem().Crash()
+	rep := e.Recover()
+	if rep.Replayed != grid.Size()*blk.Size() {
+		t.Errorf("replayed %d, want %d (scratch stores must not be logged)", rep.Replayed, grid.Size()*blk.Size())
+	}
+}
+
+func TestGeometryMismatchPanics(t *testing.T) {
+	dev := newTestDevice(0)
+	out := dev.Alloc("out", 64*4)
+	out.HostZero()
+	e := New(dev, gpusim.D1(2), gpusim.D1(32), 32)
+	wrapped := e.Wrap(fillKernel(out), out)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched launch geometry did not panic")
+		}
+	}()
+	dev.Launch("bad", gpusim.D1(2), gpusim.D1(64), wrapped)
+}
+
+func TestTornFlagBoundsReplay(t *testing.T) {
+	// A flag claiming more entries than the per-block capacity (torn or
+	// corrupted) must not read past the block's log segment.
+	dev := newTestDevice(0)
+	grid, blk := gpusim.D1(2), gpusim.D1(32)
+	out := dev.Alloc("out", 64*4)
+	out.HostZero()
+	e := New(dev, grid, blk, blk.Size())
+	dev.Launch("fill", grid, blk, e.Wrap(fillKernel(out), out))
+	dev.Mem().FlushAll()
+	// Corrupt block 0's flag to an absurd count.
+	e.flags.HostPutU64(0, 1<<40)
+	dev.Mem().Crash()
+	rep := e.Recover()
+	if rep.Replayed > 64 {
+		t.Errorf("replay ran past the log segments: %d records", rep.Replayed)
+	}
+}
+
+func TestUncommittedBlocksReported(t *testing.T) {
+	dev := newTestDevice(0)
+	grid, blk := gpusim.D1(4), gpusim.D1(32)
+	out := dev.Alloc("out", grid.Size()*blk.Size()*4)
+	out.HostZero()
+	e := New(dev, grid, blk, blk.Size())
+	dev.Launch("fill", grid, blk, e.Wrap(fillKernel(out), out))
+	dev.Mem().FlushAll()
+	// Durably clear block 2's commit flag: it must surface as uncommitted.
+	e.flags.HostPutU64(2, 0)
+	dev.Mem().Crash()
+	rep := e.Recover()
+	if len(rep.Uncommitted) != 1 || rep.Uncommitted[0] != 2 {
+		t.Errorf("uncommitted = %v, want [2]", rep.Uncommitted)
+	}
+	if rep.Committed != 3 {
+		t.Errorf("committed = %d, want 3", rep.Committed)
+	}
+}
+
+func TestLogBytes(t *testing.T) {
+	dev := newTestDevice(0)
+	e := New(dev, gpusim.D1(10), gpusim.D1(32), 16)
+	if got := e.LogBytes(); got != 10*16*16 {
+		t.Errorf("LogBytes = %d, want %d", got, 10*16*16)
+	}
+}

@@ -1,0 +1,86 @@
+package gpusim
+
+import (
+	"testing"
+
+	"gpulp/internal/memsim"
+)
+
+// BenchmarkLaunchCompute measures a compute-only launch (simulator
+// overhead per thread-instruction).
+func BenchmarkLaunchCompute(b *testing.B) {
+	d := testDevice()
+	for i := 0; i < b.N; i++ {
+		d.Launch("compute", D1(64), D1(128), func(blk *Block) {
+			blk.ForAll(func(t *Thread) { t.Op(100) })
+		})
+	}
+}
+
+// BenchmarkLaunchMemory measures a memory-streaming launch (cache
+// simulation throughput).
+func BenchmarkLaunchMemory(b *testing.B) {
+	d := testDevice()
+	data := d.Alloc("data", 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch("stream", D1(32), D1(64), func(blk *Block) {
+			blk.ForAll(func(t *Thread) {
+				t.LoadF32(data, (t.GlobalLinear()*31)%(1<<18))
+			})
+		})
+	}
+}
+
+// BenchmarkWarpReduce measures the warp shuffle reduction primitive.
+func BenchmarkWarpReduce(b *testing.B) {
+	d := testDevice()
+	vals := make([]uint64, 32)
+	for i := range vals {
+		vals[i] = uint64(i) * 977
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch("reduce", D1(1), D1(32), func(blk *Block) {
+			blk.WarpPhase(func(w *Warp) { w.ReduceAdd(vals) })
+		})
+	}
+}
+
+// BenchmarkAtomicContention measures the two-pass schedule under a
+// same-sector atomic storm.
+func BenchmarkAtomicContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultConfig()
+		cfg.NumSMs = 8
+		d := NewDevice(cfg, memsim.New(memsim.DefaultConfig()))
+		hot := d.Alloc("hot", 4)
+		hot.HostZero()
+		b.StartTimer()
+		d.Launch("storm", D1(256), D1(32), func(blk *Block) {
+			blk.ForAll(func(t *Thread) { t.AtomicAddI32(hot, 0, 1) })
+		})
+	}
+}
+
+// BenchmarkLockSerialization measures the lock queueing sweep.
+func BenchmarkLockSerialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultConfig()
+		cfg.NumSMs = 8
+		d := NewDevice(cfg, memsim.New(memsim.DefaultConfig()))
+		lock := d.NewLock("l")
+		b.StartTimer()
+		d.Launch("locked", D1(512), D1(32), func(blk *Block) {
+			blk.ForAll(func(t *Thread) {
+				if t.Linear == 0 {
+					t.LockAcquire(lock)
+					t.Op(30)
+					t.LockRelease(lock)
+				}
+			})
+		})
+	}
+}

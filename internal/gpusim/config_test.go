@@ -1,0 +1,76 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpulp/internal/memsim"
+)
+
+func TestConfigValidationBranches(t *testing.T) {
+	mem := memsim.New(memsim.DefaultConfig())
+	mutations := []func(*Config){
+		func(c *Config) { c.NumSMs = 0 },
+		func(c *Config) { c.WarpSize = 0 },
+		func(c *Config) { c.MaxBlocksPerSM = 0 },
+		func(c *Config) { c.MaxThreadsPerSM = 0 },
+		func(c *Config) { c.IssueWidth = 0 },
+		func(c *Config) { c.L2BytesPerCycle = 0 },
+		func(c *Config) { c.NVMBytesPerCycle = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mutation %d did not panic", i)
+				}
+			}()
+			NewDevice(cfg, mem)
+		}()
+	}
+	t.Run("nil memory", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil memory accepted")
+			}
+		}()
+		NewDevice(DefaultConfig(), nil)
+	})
+}
+
+// TestPropertyDim3RoundTrip: Linear and Unlinear are inverse bijections
+// over arbitrary extents.
+func TestPropertyDim3RoundTrip(t *testing.T) {
+	f := func(xr, yr, zr uint8, pick uint16) bool {
+		d := Dim3{int(xr%7) + 1, int(yr%7) + 1, int(zr%7) + 1}
+		lin := int(pick) % d.Size()
+		idx := d.Unlinear(lin)
+		if idx.X >= d.X || idx.Y >= d.Y || idx.Z >= d.Z {
+			return false
+		}
+		return d.Linear(idx) == lin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalLinearCoversGrid(t *testing.T) {
+	d := testDevice()
+	seen := map[int]bool{}
+	grid, blk := D2(3, 2), D2(4, 8)
+	d.Launch("cover", grid, blk, func(b *Block) {
+		b.ForAll(func(th *Thread) { seen[th.GlobalLinear()] = true })
+	})
+	want := grid.Size() * blk.Size()
+	if len(seen) != want {
+		t.Errorf("GlobalLinear covered %d ids, want %d", len(seen), want)
+	}
+	for i := 0; i < want; i++ {
+		if !seen[i] {
+			t.Fatalf("id %d missing (ids not dense)", i)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"gpulp/internal/memsim"
+)
+
+// KernelFunc is the body of a kernel, invoked once per thread block.
+type KernelFunc func(b *Block)
+
+// Device is a simulated GPU attached to a simulated global memory.
+type Device struct {
+	cfg       Config
+	mem       *memsim.Memory
+	lines     *wordTimeline // device-wide atomic serialization state
+	locks     []*Lock
+	storeHook StoreHook
+	traceSink func(LaunchTrace)
+}
+
+// StoreHook observes every 32-bit data store a kernel performs. It is the
+// mechanism behind directive-style instrumentation: a Lazy Persistency
+// runtime installs a hook that folds stored values into the active
+// region's checksum, so kernels need no hand-written checksum code.
+type StoreHook func(t *Thread, r memsim.Region, elemIdx int, bits uint32)
+
+// SetStoreHook installs hook (nil to remove) and returns the previous one.
+func (d *Device) SetStoreHook(hook StoreHook) StoreHook {
+	prev := d.storeHook
+	d.storeHook = hook
+	return prev
+}
+
+// NewDevice creates a Device over mem with the given configuration.
+func NewDevice(cfg Config, mem *memsim.Memory) *Device {
+	cfg.validate()
+	if mem == nil {
+		panic("gpusim: nil memory")
+	}
+	return &Device{cfg: cfg, mem: mem, lines: newWordTimeline()}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Mem returns the global memory behind the device.
+func (d *Device) Mem() *memsim.Memory { return d.mem }
+
+// Alloc allocates named global memory; a convenience forwarding to the
+// memory system.
+func (d *Device) Alloc(name string, size int) memsim.Region {
+	return d.mem.Alloc(name, size)
+}
+
+// NewLock creates a device-wide spin lock (a location in global memory
+// that threads acquire with atomic compare-and-swap). The returned Lock
+// carries the simulated queueing state.
+func (d *Device) NewLock(name string) *Lock {
+	l := &Lock{name: name, id: len(d.locks)}
+	d.locks = append(d.locks, l)
+	return l
+}
+
+// LaunchResult summarizes the execution of one kernel launch.
+type LaunchResult struct {
+	// Name is the kernel name passed to Launch.
+	Name string
+	// Cycles is the simulated duration of the launch (last block
+	// completion).
+	Cycles int64
+	// Blocks is the number of thread blocks executed.
+	Blocks int
+	// WarpInstrs is the total warp-instruction count.
+	WarpInstrs int64
+	// L2Bytes and NVMBytes are total bytes moved at each level.
+	L2Bytes  int64
+	NVMBytes int64
+	// AtomicStallCycles is time blocks spent queued behind conflicting
+	// atomics; LockStallCycles is time spent waiting for locks.
+	AtomicStallCycles int64
+	LockStallCycles   int64
+	// MaxConcurrency is the number of SM block slots the launch could
+	// occupy simultaneously.
+	MaxConcurrency int
+}
+
+// MS returns the launch duration in milliseconds (requires the config used
+// at launch; use Device.Config().CyclesToMS for exactness).
+func (r LaunchResult) String() string {
+	return fmt.Sprintf("%s: %d blocks, %d cycles, %d warp-instrs, %dB L2, %dB NVM, stalls atomic=%d lock=%d",
+		r.Name, r.Blocks, r.Cycles, r.WarpInstrs, r.L2Bytes, r.NVMBytes, r.AtomicStallCycles, r.LockStallCycles)
+}
+
+// Launch runs kernel over the full grid and returns timing.
+func (d *Device) Launch(name string, grid, block Dim3, kernel KernelFunc) LaunchResult {
+	return d.launch(name, grid, block, kernel, nil)
+}
+
+// LaunchSelected runs kernel only for the listed linear block indices —
+// the primitive used by crash recovery to re-execute failed LP regions.
+func (d *Device) LaunchSelected(name string, grid, block Dim3, kernel KernelFunc, blocks []int) LaunchResult {
+	if blocks == nil {
+		blocks = []int{}
+	}
+	return d.launch(name, grid, block, kernel, blocks)
+}
+
+func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, selected []int) LaunchResult {
+	if grid.Size() <= 0 || block.Size() <= 0 {
+		panic(fmt.Sprintf("gpusim: launch %q with empty grid %v or block %v", name, grid, block))
+	}
+	if kernel == nil {
+		panic("gpusim: nil kernel")
+	}
+	threadsPerBlock := block.Size()
+	perSM := d.cfg.MaxBlocksPerSM
+	if byThreads := d.cfg.MaxThreadsPerSM / threadsPerBlock; byThreads < perSM {
+		perSM = byThreads
+	}
+	if perSM < 1 {
+		perSM = 1
+	}
+	slots := make([]int64, d.cfg.NumSMs*perSM)
+
+	order := selected
+	if order == nil {
+		order = make([]int, grid.Size())
+		for i := range order {
+			order[i] = i
+		}
+	}
+
+	res := LaunchResult{Name: name, Blocks: len(order), MaxConcurrency: len(slots)}
+	// Reset per-launch state: each launch starts at t=0.
+	d.lines.reset()
+	for _, l := range d.locks {
+		l.reset()
+	}
+
+	// Pass 1: functional execution in dispatch order, with a zero-queueing
+	// greedy schedule providing approximate absolute times (used only by
+	// RacyTouch race windows). Serialization events are recorded per block.
+	recs := make([]blockRec, 0, len(order))
+	for orderIdx, lin := range order {
+		if lin < 0 || lin >= grid.Size() {
+			panic(fmt.Sprintf("gpusim: selected block %d out of grid %v", lin, grid))
+		}
+		// Earliest-free slot.
+		slot := 0
+		for i := 1; i < len(slots); i++ {
+			if slots[i] < slots[slot] {
+				slot = i
+			}
+		}
+		start := slots[slot]
+		// Work-distributor dispatch skew.
+		if minStart := int64(orderIdx) * d.cfg.BlockDispatchCycles; start < minStart {
+			start = minStart
+		}
+		b := &Block{
+			dev:       d,
+			Idx:       grid.Unlinear(lin),
+			BlockDim:  block,
+			GridDim:   grid,
+			LinearIdx: lin,
+			startTime: start,
+			shared:    map[string]any{},
+		}
+		kernel(b)
+		slots[slot] = start + b.cycles
+		recs = append(recs, blockRec{base: b.cycles, events: b.events})
+
+		res.WarpInstrs += b.totWarpInstrs
+		res.L2Bytes += b.totL2Bytes
+		res.NVMBytes += b.totNVMBytes
+		res.AtomicStallCycles += b.totAtomicStall
+	}
+
+	// Pass 2: fixed-point timing with queueing delays.
+	cycles, aStall, lStall := d.schedule(recs, len(slots))
+	res.Cycles = cycles
+	res.AtomicStallCycles += aStall
+	res.LockStallCycles = lStall
+	d.emitTrace(name, order, recs, cycles)
+	return res
+}

@@ -1,0 +1,60 @@
+package gpusim
+
+// wordTimeline tracks unsynchronized ("racy") accesses per 32-byte memory
+// sector during the functional pass, to deterministically surface the
+// data races a check-then-act sequence suffers when atomics are removed
+// (§IV-D.3). Atomic and lock queueing is not modeled here — it is
+// computed after the launch by the time-ordered sweep in schedule.go.
+type wordTimeline struct {
+	touchAt map[uint64]touchRec
+}
+
+type touchRec struct {
+	when  int64
+	actor int
+}
+
+func newWordTimeline() *wordTimeline {
+	return &wordTimeline{touchAt: make(map[uint64]touchRec)}
+}
+
+func (w *wordTimeline) reset() {
+	clear(w.touchAt)
+}
+
+// touch records an unsynchronized access to addr at time now by actor and
+// reports whether a *different* actor hit the same sector within the
+// preceding window cycles. An actor's own repeated touches never race
+// with themselves.
+func (w *wordTimeline) touch(addr uint64, now, window int64, actor int) bool {
+	last, seen := w.touchAt[addr]
+	w.touchAt[addr] = touchRec{when: now, actor: actor}
+	return seen && last.actor != actor && now-last.when <= window
+}
+
+// Lock is a simulated device-wide spin lock: a FIFO resource in simulated
+// time. Threads acquire it via Thread.LockAcquire / LockRelease; the
+// queueing is resolved by the post-launch sweep from the measured
+// critical-section lengths.
+type Lock struct {
+	name string
+	id   int
+
+	acquisitions int64
+	contended    int64
+}
+
+// Name returns the lock's diagnostic name.
+func (l *Lock) Name() string { return l.name }
+
+// Acquisitions returns how many times the lock was taken during the last
+// launch; Contended how many of those had to wait.
+func (l *Lock) Acquisitions() int64 { return l.acquisitions }
+
+// Contended returns the number of contended acquisitions.
+func (l *Lock) Contended() int64 { return l.contended }
+
+func (l *Lock) reset() {
+	l.acquisitions = 0
+	l.contended = 0
+}

@@ -1,0 +1,97 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceEmitted(t *testing.T) {
+	d := testDevice()
+	var traces []LaunchTrace
+	d.SetTraceSink(func(tr LaunchTrace) { traces = append(traces, tr) })
+
+	tbl := d.Alloc("tbl", 1024*8)
+	tbl.HostZero()
+	res := d.Launch("traced", D1(16), D1(32), func(b *Block) {
+		b.ForAll(func(th *Thread) {
+			th.Op(50)
+			if th.Linear == 0 {
+				th.AtomicCASU64(tbl, b.LinearIdx*4, 0, 1)
+			}
+		})
+	})
+
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Name != "traced" || len(tr.Blocks) != 16 {
+		t.Fatalf("trace shape wrong: %s, %d blocks", tr.Name, len(tr.Blocks))
+	}
+	if tr.Cycles != res.Cycles || tr.MaxEnd() != res.Cycles {
+		t.Errorf("trace cycles %d / maxEnd %d != launch cycles %d", tr.Cycles, tr.MaxEnd(), res.Cycles)
+	}
+	seen := map[int]bool{}
+	for _, b := range tr.Blocks {
+		if b.Base <= 0 || b.Start < 0 || b.Stall < 0 {
+			t.Errorf("block %d has bad timing: %+v", b.LinearIdx, b)
+		}
+		if b.Events != 1 {
+			t.Errorf("block %d events = %d, want 1", b.LinearIdx, b.Events)
+		}
+		seen[b.LinearIdx] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("trace covered %d distinct blocks", len(seen))
+	}
+}
+
+func TestTraceStallAccounting(t *testing.T) {
+	d := testDevice()
+	var tr LaunchTrace
+	d.SetTraceSink(func(t LaunchTrace) { tr = t })
+	hot := d.Alloc("hot", 8)
+	hot.HostZero()
+	res := d.Launch("contended", D1(32), D1(32), func(b *Block) {
+		b.ForAll(func(th *Thread) { th.AtomicAddI32(hot, 0, 1) })
+	})
+	if got := tr.TotalStall(); got != res.AtomicStallCycles {
+		t.Errorf("trace TotalStall = %d, launch AtomicStallCycles = %d", got, res.AtomicStallCycles)
+	}
+	if tr.TotalStall() == 0 {
+		t.Error("same-address atomic storm produced no recorded stalls")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	d := testDevice()
+	var tr LaunchTrace
+	d.SetTraceSink(func(t LaunchTrace) { tr = t })
+	d.Launch("j", D1(2), D1(32), func(b *Block) {
+		b.ForAll(func(th *Thread) { th.Op(1) })
+	})
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LaunchTrace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || len(back.Blocks) != len(tr.Blocks) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestTraceSinkRestore(t *testing.T) {
+	d := testDevice()
+	f := func(LaunchTrace) {}
+	if prev := d.SetTraceSink(f); prev != nil {
+		t.Error("fresh device had a sink")
+	}
+	if prev := d.SetTraceSink(nil); prev == nil {
+		t.Error("SetTraceSink did not return the previous sink")
+	}
+	// With sink removed, launches must not panic.
+	d.Launch("quiet", D1(1), D1(32), func(b *Block) { b.ForAll(func(th *Thread) {}) })
+}

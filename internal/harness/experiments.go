@@ -1,0 +1,461 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpulp/internal/checksum"
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/hashtab"
+	"gpulp/internal/kernels"
+	"gpulp/internal/memsim"
+)
+
+// paperFig5 holds the paper's Fig. 5 / Table IV (with-shuffle) overheads
+// in percent, for the side-by-side comparison columns: {quad, cuckoo}.
+var paperFig5 = map[string][2]float64{
+	"tmm":          {8.1, 7.25},
+	"tpacf":        {1.5, 1.33},
+	"mri-gridding": {216.6, 45.67},
+	"spmv":         {22.1, 11.78},
+	"sad":          {51.23, 232.79},
+	"histo":        {4.54, 27.73},
+	"cutcp":        {7.96, 13.16},
+	"mri-q":        {8.01, 6.06},
+}
+
+// paperTable4NoShfl holds Table IV's no-shuffle overhead columns.
+var paperTable4NoShfl = map[string][2]float64{
+	"tmm":          {15.4, 13.65},
+	"tpacf":        {2.6, 1.89},
+	"mri-gridding": {224.1, 50.32},
+	"spmv":         {437.6, 431.18},
+	"sad":          {86.34, 242.13},
+	"histo":        {9.70, 45.81},
+	"cutcp":        {9.01, 14.78},
+	"mri-q":        {9.78, 8.03},
+}
+
+// paperTable2 holds the paper's collision counts: {quad, cuckoo}.
+var paperTable2 = map[string][2]int64{
+	"tmm":          {60443, 38951},
+	"tpacf":        {532, 483},
+	"mri-gridding": {172978, 26351},
+	"spmv":         {57, 39},
+	"sad":          {31971, 44566},
+	"histo":        {26, 54},
+	"cutcp":        {550, 562},
+	"mri-q":        {120, 112},
+}
+
+// paperTable3 holds the paper's slowdown factors and block counts:
+// {quad lock-free, quad lock-based, cuckoo lock-free, cuckoo lock-based,
+// blocks}.
+var paperTable3 = map[string][5]float64{
+	"tmm":          {1.07, 1.70, 1.07, 4.04, 16384},
+	"tpacf":        {1.01, 1.02, 1.01, 1.02, 512},
+	"mri-gridding": {3.19, 6332, 1.46, 1868.09, 65536},
+	"spmv":         {1.22, 23.78, 1.12, 18.85, 1536},
+	"sad":          {2.51, 4491.87, 3.33, 9162.23, 128640},
+	"histo":        {1.05, 1.30, 1.28, 1.48, 42},
+	"cutcp":        {1.08, 32.31, 1.13, 50.73, 128},
+	"mri-q":        {1.08, 5.50, 1.06, 4.88, 1024},
+}
+
+// paperTable5 holds Table V: {time overhead %, space overhead %}.
+var paperTable5 = map[string][2]float64{
+	"tmm":          {6.2, 0.2},
+	"tpacf":        {1.0, 0.02},
+	"mri-gridding": {2.5, 0.82},
+	"spmv":         {1.6, 0.02},
+	"sad":          {0.6, 12.27},
+	"histo":        {0.6, 0.01},
+	"cutcp":        {2.1, 0.02},
+	"mri-q":        {2.7, 0.25},
+}
+
+// naiveCfg is the Fig. 5 configuration: lock-free, shuffle reduction,
+// dual checksums, hash-table store of the given kind.
+func naiveCfg(kind hashtab.Kind) core.Config {
+	return core.Config{
+		Checksum:  checksum.Dual,
+		Store:     kind,
+		LockMode:  hashtab.LockFree,
+		Reduction: core.ReduceShuffle,
+	}
+}
+
+// Table1 renders the Table I benchmark inventory with this
+// reproduction's synthetic inputs and block counts.
+func (r *Runner) Table1() (*Table, error) {
+	t := &Table{ID: "table1", Title: "Benchmark inventory (Table I)",
+		Columns: []string{"name", "suite", "bottleneck", "input", "blocks", "block dim"}}
+	names := append(append([]string{}, kernels.Names...),
+		"megakv-search", "megakv-insert", "megakv-delete", "megakv-mixed")
+	for _, name := range names {
+		w := kernels.New(name, r.Opt.Scale)
+		grid, blk := w.Geometry()
+		info := w.Info()
+		t.AddRow(name, info.Suite, info.Bottleneck, info.Input,
+			fmt.Sprint(grid.Size()), fmt.Sprintf("%dx%dx%d", blk.X, blk.Y, blk.Z))
+	}
+	t.Notes = append(t.Notes, "inputs are synthetic, scaled to preserve the paper's thread-block count ordering")
+	return t, nil
+}
+
+// Fig5 measures the naive-LP overheads (lock-free hash tables with
+// parallel reduction) for Quad and Cuckoo.
+func (r *Runner) Fig5() (*Table, error) {
+	t := &Table{ID: "fig5", Title: "Execution time overhead vs baseline, Quad vs Cuckoo (Fig. 5)",
+		Columns: []string{"benchmark", "quad", "cuckoo", "paper quad", "paper cuckoo"}}
+	var quadOs, cuckooOs []float64
+	for _, name := range kernels.Names {
+		oq, _, err := r.overhead(name, naiveCfg(hashtab.Quad))
+		if err != nil {
+			return nil, err
+		}
+		oc, _, err := r.overhead(name, naiveCfg(hashtab.Cuckoo))
+		if err != nil {
+			return nil, err
+		}
+		quadOs = append(quadOs, oq)
+		cuckooOs = append(cuckooOs, oc)
+		p := paperFig5[name]
+		t.AddRow(name, pct(oq), pct(oc), fmt.Sprintf("%.1f%%", p[0]), fmt.Sprintf("%.1f%%", p[1]))
+	}
+	t.AddRow("geomean", pct(geomeanOverhead(quadOs)), pct(geomeanOverhead(cuckooOs)), "29.4%", "31.7%")
+	return t, nil
+}
+
+// Table2 reports hash-table collision counts during checksum insertion.
+func (r *Runner) Table2() (*Table, error) {
+	t := &Table{ID: "table2", Title: "Number of hash table collisions (Table II)",
+		Columns: []string{"benchmark", "quad", "cuckoo", "paper quad", "paper cuckoo"}}
+	for _, name := range kernels.Names {
+		mq, err := r.measure(name, cfgPtr(naiveCfg(hashtab.Quad)))
+		if err != nil {
+			return nil, err
+		}
+		mc, err := r.measure(name, cfgPtr(naiveCfg(hashtab.Cuckoo)))
+		if err != nil {
+			return nil, err
+		}
+		p := paperTable2[name]
+		t.AddRow(name, fmt.Sprint(mq.collisions), fmt.Sprint(mc.collisions),
+			fmt.Sprint(p[0]), fmt.Sprint(p[1]))
+	}
+	t.Notes = append(t.Notes,
+		"absolute counts scale with input size; the paper ran much larger inputs — compare which benchmarks collide heavily")
+	return t, nil
+}
+
+// Table3 compares lock-free and lock-based insertion.
+func (r *Runner) Table3() (*Table, error) {
+	t := &Table{ID: "table3", Title: "Lock-based vs lock-free slowdown (Table III)",
+		Columns: []string{"benchmark", "quad lock-free", "quad lock-based", "cuckoo lock-free", "cuckoo lock-based", "blocks", "paper (q-lf/q-lb/c-lf/c-lb)"}}
+	var fQF, fQL, fCF, fCL []float64
+	for _, name := range kernels.Names {
+		row := []string{name}
+		var blocks int
+		factors := make([]float64, 4)
+		for i, cfg := range []core.Config{
+			naiveCfg(hashtab.Quad),
+			lockCfg(hashtab.Quad),
+			naiveCfg(hashtab.Cuckoo),
+			lockCfg(hashtab.Cuckoo),
+		} {
+			o, m, err := r.overhead(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			factors[i] = 1 + o
+			blocks = m.blocks
+			row = append(row, times(1+o))
+		}
+		fQF = append(fQF, factors[0])
+		fQL = append(fQL, factors[1])
+		fCF = append(fCF, factors[2])
+		fCL = append(fCL, factors[3])
+		p := paperTable3[name]
+		row = append(row, fmt.Sprint(blocks),
+			fmt.Sprintf("%.2f/%.2f/%.2f/%.2f", p[0], p[1], p[2], p[3]))
+		t.AddRow(row...)
+	}
+	t.AddRow("geomean", times(geomeanFactor(fQF)), times(geomeanFactor(fQL)),
+		times(geomeanFactor(fCF)), times(geomeanFactor(fCL)), "-", "1.33/36.62/1.35/31.73")
+	return t, nil
+}
+
+func lockCfg(kind hashtab.Kind) core.Config {
+	c := naiveCfg(kind)
+	c.LockMode = hashtab.LockBased
+	return c
+}
+
+// Table4 compares shuffle-based parallel reduction against the
+// through-memory sequential reduction.
+func (r *Runner) Table4() (*Table, error) {
+	t := &Table{ID: "table4", Title: "Overheads with vs without parallel reduction (Table IV)",
+		Columns: []string{"benchmark", "quad+shfl", "quad+no", "cuckoo+shfl", "cuckoo+no", "paper (q+shfl/q+no/c+shfl/c+no)"}}
+	var col [4][]float64
+	for _, name := range kernels.Names {
+		row := []string{name}
+		for i, cfg := range []core.Config{
+			naiveCfg(hashtab.Quad),
+			seqCfg(hashtab.Quad),
+			naiveCfg(hashtab.Cuckoo),
+			seqCfg(hashtab.Cuckoo),
+		} {
+			o, _, err := r.overhead(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			col[i] = append(col[i], o)
+			row = append(row, pct(o))
+		}
+		p := paperFig5[name]
+		pn := paperTable4NoShfl[name]
+		row = append(row, fmt.Sprintf("%.1f/%.1f/%.1f/%.1f%%", p[0], pn[0], p[1], pn[1]))
+		t.AddRow(row...)
+	}
+	t.AddRow("geomean", pct(geomeanOverhead(col[0])), pct(geomeanOverhead(col[1])),
+		pct(geomeanOverhead(col[2])), pct(geomeanOverhead(col[3])), "29.4/63.3/31.7/65.8%")
+	return t, nil
+}
+
+func seqCfg(kind hashtab.Kind) core.Config {
+	c := naiveCfg(kind)
+	c.Reduction = core.ReduceSequential
+	return c
+}
+
+// Table5 measures the paper's final design: the checksum global array
+// with shuffle reduction, including the space overhead column.
+func (r *Runner) Table5() (*Table, error) {
+	t := &Table{ID: "table5", Title: "Global array + shuffle: time and space overheads (Table V)",
+		Columns: []string{"benchmark", "array+shuffle", "space overhead", "paper time", "paper space"}}
+	var timeOs, spaceOs []float64
+	for _, name := range kernels.Names {
+		o, m, err := r.overhead(name, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		space := float64(m.tableBytes) / float64(m.persist)
+		timeOs = append(timeOs, o)
+		spaceOs = append(spaceOs, space)
+		p := paperTable5[name]
+		t.AddRow(name, pct(o), pct(space), fmt.Sprintf("%.1f%%", p[0]), fmt.Sprintf("%.2f%%", p[1]))
+	}
+	t.AddRow("geomean", pct(geomeanOverhead(timeOs)), pct(geomeanOverhead(spaceOs)), "2.1%", "1.63%")
+	return t, nil
+}
+
+// NoCollision reruns MRI-GRIDDING with collisions artificially removed
+// (every first probe hits an empty slot), the §IV-D.2 hypothesis test.
+func (r *Runner) NoCollision() (*Table, error) {
+	t := &Table{ID: "nocollision", Title: "MRI-GRIDDING with collisions removed (§IV-D.2)",
+		Columns: []string{"store", "with collisions", "collision-free", "paper collision-free"}}
+	for _, kind := range []hashtab.Kind{hashtab.Quad, hashtab.Cuckoo} {
+		withC, _, err := r.overhead("mri-gridding", naiveCfg(kind))
+		if err != nil {
+			return nil, err
+		}
+		cfg := naiveCfg(kind)
+		cfg.PerfectSlot = true
+		without, m, err := r.overhead("mri-gridding", cfg)
+		if err != nil {
+			return nil, err
+		}
+		if m.collisions != 0 {
+			return nil, fmt.Errorf("perfect-slot run still collided %d times", m.collisions)
+		}
+		paper := "0.8%"
+		if kind == hashtab.Cuckoo {
+			paper = "0.1%"
+		}
+		t.AddRow(kind.String(), pct(withC), pct(without), paper)
+	}
+	t.Notes = append(t.Notes, "the overhead drop confirms collisions (not insertion itself) dominate the naive-LP slowdown")
+	return t, nil
+}
+
+// NoAtomic replaces the insertion atomics with plain check-then-act
+// sequences (§IV-D.3).
+func (r *Runner) NoAtomic() (*Table, error) {
+	t := &Table{ID: "noatomic", Title: "Insertion without atomic instructions (§IV-D.3)",
+		Columns: []string{"store", "with atomics (geomean)", "without atomics (geomean)", "paper without"}}
+	for _, kind := range []hashtab.Kind{hashtab.Quad, hashtab.Cuckoo} {
+		var withOs, withoutOs []float64
+		for _, name := range kernels.Names {
+			ow, _, err := r.overhead(name, naiveCfg(kind))
+			if err != nil {
+				return nil, err
+			}
+			cfg := naiveCfg(kind)
+			cfg.LockMode = hashtab.NoAtomic
+			on, _, err := r.overhead(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			withOs = append(withOs, ow)
+			withoutOs = append(withoutOs, on)
+		}
+		paper := ">16x"
+		if kind == hashtab.Cuckoo {
+			paper = "41.9%"
+		}
+		t.AddRow(kind.String(), pct(geomeanOverhead(withOs)), pct(geomeanOverhead(withoutOs)), paper)
+	}
+	t.Notes = append(t.Notes, "removing atomics exposes dependent round-trip latency and lost-update retries; it never helps")
+	return t, nil
+}
+
+// MultiChecksum compares parity-only, modular-only and dual checksums on
+// TMM with quadratic probing (§VII-2).
+func (r *Runner) MultiChecksum() (*Table, error) {
+	t := &Table{ID: "multichecksum", Title: "Single vs dual checksums, TMM + Quad (§VII-2)",
+		Columns: []string{"checksums", "overhead", "paper"}}
+	for _, row := range []struct {
+		kind  checksum.Kind
+		paper string
+	}{
+		{checksum.Parity, "7.6%"},
+		{checksum.Modular, "7.7%"},
+		{checksum.Dual, "8.1%"},
+	} {
+		cfg := naiveCfg(hashtab.Quad)
+		cfg.Checksum = row.kind
+		o, _, err := r.overhead("tmm", cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row.kind.String(), pct(o), row.paper)
+	}
+	t.Notes = append(t.Notes, "the dual scheme's false-negative rate (<1e-12) is worth its small cost bump")
+	return t, nil
+}
+
+// WriteAmp measures the increase in NVM line writes caused by LP's
+// checksum stores (§VII-3), on the paper's three workloads.
+func (r *Runner) WriteAmp() (*Table, error) {
+	t := &Table{ID: "writeamp", Title: "NVM write amplification of the final LP design (§VII-3)",
+		Columns: []string{"benchmark", "baseline NVM writes", "LP NVM writes", "increase", "paper"}}
+	paper := map[string]string{"spmv": "+0.5%", "tmm": "+2.2%", "sad": "between"}
+	for _, name := range []string{"spmv", "tmm", "sad"} {
+		base, err := r.measure(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.measure(name, cfgPtr(core.DefaultConfig()))
+		if err != nil {
+			return nil, err
+		}
+		inc := float64(m.nvmWrites)/float64(base.nvmWrites) - 1
+		t.AddRow(name, fmt.Sprint(base.nvmWrites), fmt.Sprint(m.nvmWrites),
+			fmt.Sprintf("+%s", pct(inc)), paper[name])
+	}
+	t.Notes = append(t.Notes,
+		"LP never flushes: the only extra writes are naturally evicted checksum lines")
+	return t, nil
+}
+
+// MegaKV measures the final design's overhead on the MEGA-KV key-value
+// store's three operation types (§VII-4).
+func (r *Runner) MegaKV() (*Table, error) {
+	t := &Table{ID: "megakv", Title: "MEGA-KV operation overheads with the final LP design (§VII-4)",
+		Columns: []string{"operation", "overhead", "paper"}}
+	paper := map[string]string{
+		"megakv-search": "3.4%", "megakv-delete": "5.2%", "megakv-insert": "2.1%",
+		"megakv-mixed": "(not in paper)",
+	}
+	for _, name := range []string{"megakv-search", "megakv-delete", "megakv-insert", "megakv-mixed"} {
+		o, _, err := r.overhead(name, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name[len("megakv-"):], pct(o), paper[name])
+	}
+	return t, nil
+}
+
+// FalseNeg measures checksum false-negative rates under random error
+// injection (§IV-B). The paper reports <1 in 2e9 for modular and
+// Adler-32 individually and <1e-12 for the dual scheme; sampled trials
+// here bound the rate from above.
+func (r *Runner) FalseNeg() (*Table, error) {
+	t := &Table{ID: "falseneg", Title: "Checksum false negatives under random error injection (§IV-B)",
+		Columns: []string{"checksum", "corruption", "trials", "false negatives", "rate"}}
+	rng := rand.New(rand.NewSource(int64(r.Opt.Seed)))
+	trials := 200000
+	if r.Opt.Scale > 1 {
+		trials *= r.Opt.Scale
+	}
+	cases := []struct {
+		c         checksum.Corruption
+		maxErrors int
+		label     string
+	}{
+		{checksum.LostStore, 4, "lost-store (1-4)"},
+		{checksum.LostLine, 2, "lost-line (1-2)"},
+		{checksum.BitFlip, 1, "bit-flip (1)"},
+		{checksum.BitFlip, 4, "bit-flip (1-4)"},
+	}
+	for _, k := range []checksum.Kind{checksum.Parity, checksum.Modular, checksum.Dual, checksum.Adler32} {
+		for _, tc := range cases {
+			res := checksum.MeasureFalseNegatives(rng, k, tc.c, 256, tc.maxErrors, trials)
+			t.AddRow(k.String(), tc.label, fmt.Sprint(res.Trials),
+				fmt.Sprint(res.FalseNegatives), fmt.Sprintf("%.2e", res.FalseNegativeRate()))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: modular and Adler-32 < 1/2e9 individually; modular+parity < 1e-12 combined",
+		"multi-bit-flip misses are opposite flips of the same bit position in two values, which cancel in both sum and XOR; LP's own failure mode (lost stores) is always caught in these trials")
+	return t, nil
+}
+
+// Recovery runs the end-to-end crash flow: run under LP, crash, validate,
+// re-execute failed regions, verify the output equals the crash-free
+// golden result.
+func (r *Runner) Recovery() (*Table, error) {
+	t := &Table{ID: "recovery", Title: "Crash, validation and recovery (§II-A, §IV-A)",
+		Columns: []string{"benchmark", "blocks", "failed after crash", "recovery rounds", "validate+recover cycles", "output"}}
+	// A small cache makes natural eviction persist most of the run before
+	// the crash, so only the cache-resident tail of regions fails — the
+	// realistic partial-loss scenario LP recovers from.
+	memCfg := r.Opt.Mem
+	memCfg.CacheBytes = 256 << 10
+	for _, name := range []string{"tmm", "spmv", "histo", "megakv-insert"} {
+		mem := memsim.New(memCfg)
+		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		w := kernels.New(name, r.Opt.Scale)
+		w.Setup(dev)
+		grid, blk := w.Geometry()
+		cfg := core.DefaultConfig()
+		cfg.Seed = r.Opt.Seed
+		lp := core.New(dev, cfg, grid, blk)
+		kernel := w.Kernel(lp)
+		dev.Launch(name, grid, blk, kernel)
+
+		mem.Crash()
+
+		rep, err := lp.ValidateAndRecover(kernel, w.Recompute(), 5)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if f, ok := w.(kernels.Finalizer); ok {
+			fname, fg, fb, k := f.FinalizeKernel()
+			dev.Launch(fname, fg, fb, k)
+		}
+		status := "verified"
+		if err := w.Verify(); err != nil {
+			status = "MISMATCH: " + err.Error()
+		}
+		t.AddRow(name, fmt.Sprint(grid.Size()), fmt.Sprint(rep.FailedPerRound[0]),
+			fmt.Sprint(rep.Rounds), fmt.Sprint(rep.TotalCycles()), status)
+	}
+	t.Notes = append(t.Notes, "failed regions are those whose data or checksum stores were still cache-resident at the crash")
+	return t, nil
+}
+
+func cfgPtr(c core.Config) *core.Config { return &c }

@@ -1,0 +1,52 @@
+package hashtab
+
+import (
+	"fmt"
+	"testing"
+
+	"gpulp/internal/gpusim"
+)
+
+// BenchmarkInsert measures bulk checksum insertion per store design —
+// the operation on LP's critical path.
+func BenchmarkInsert(b *testing.B) {
+	for _, kind := range []Kind{Quad, Cuckoo, GlobalArray} {
+		for _, mode := range []LockMode{LockFree, LockBased} {
+			if kind == GlobalArray && mode == LockBased {
+				continue // the global array has nothing to lock
+			}
+			b.Run(fmt.Sprintf("%v-%v", kind, mode), func(b *testing.B) {
+				const n = 2048
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					dev := newTestDevice()
+					s := New(dev, "tbl", Config{Kind: kind, LockMode: mode, NumKeys: n, Seed: 7})
+					b.StartTimer()
+					insertAll(dev, s, n)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLookup measures recovery-time lookup per store design.
+func BenchmarkLookup(b *testing.B) {
+	for _, kind := range []Kind{Quad, Cuckoo, GlobalArray} {
+		b.Run(kind.String(), func(b *testing.B) {
+			const n = 2048
+			dev := newTestDevice()
+			s := New(dev, "tbl", Config{Kind: kind, NumKeys: n, Seed: 7})
+			insertAll(dev, s, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dev.Launch("lookup", gpusim.D1(n), gpusim.D1(32), func(blk *gpusim.Block) {
+					blk.ForAll(func(t *gpusim.Thread) {
+						if t.Linear == 0 {
+							s.Lookup(t, uint64(blk.LinearIdx))
+						}
+					})
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// cutcp computes the distance-cutoff Coulombic potential on a 3D lattice:
+// for every lattice point, sum q/r over the atoms within a cutoff radius,
+// using a cell list to prune the search. One block owns a brick of
+// lattice points; the per-point inner loop is arithmetic-heavy, so the
+// kernel is instruction-throughput bound with few, large blocks.
+type cutcp struct {
+	lx, ly, lz int // lattice dimensions
+	natoms     int
+	cutoff     float32
+
+	dev        *gpusim.Device
+	ax, ay, az memsim.Region // float32 atom coordinates
+	aq         memsim.Region // float32 atom charges
+	binStart   memsim.Region // int32 CSR over atoms binned by cell
+	binIdx     memsim.Region // int32
+	pot        memsim.Region // float32 output, lx*ly*lz
+
+	bx, by, bz int // atom bin grid dimensions
+	binEdge    float32
+	golden     []float32
+}
+
+func newCUTCP(scale int) *cutcp {
+	// 32x32x16 lattice in 8x8x4 bricks = 64 blocks of 256 threads.
+	return &cutcp{lx: 32 * scale, ly: 32, lz: 16, natoms: 512 * scale, cutoff: 4}
+}
+
+func (w *cutcp) points() int { return w.lx * w.ly * w.lz }
+
+func (w *cutcp) Name() string { return "cutcp" }
+
+func (w *cutcp) Info() Info {
+	return Info{
+		Description: "distance-cutoff Coulombic potential on a 3D lattice",
+		Suite:       "Parboil",
+		Bottleneck:  "inst throughput",
+		Input:       fmt.Sprintf("%dx%dx%d lattice, %d atoms, cutoff %.1f", w.lx, w.ly, w.lz, w.natoms, w.cutoff),
+	}
+}
+
+func (w *cutcp) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	return gpusim.D3(w.lx/8, w.ly/8, w.lz/4), gpusim.D3(8, 8, 4)
+}
+
+func (w *cutcp) binOf(x, y, z float32) int {
+	cx, cy, cz := int(x/w.binEdge), int(y/w.binEdge), int(z/w.binEdge)
+	if cx >= w.bx {
+		cx = w.bx - 1
+	}
+	if cy >= w.by {
+		cy = w.by - 1
+	}
+	if cz >= w.bz {
+		cz = w.bz - 1
+	}
+	return (cz*w.by+cy)*w.bx + cx
+}
+
+func (w *cutcp) Setup(dev *gpusim.Device) {
+	w.dev = dev
+	w.binEdge = w.cutoff
+	w.bx = int(float32(w.lx)/w.binEdge) + 1
+	w.by = int(float32(w.ly)/w.binEdge) + 1
+	w.bz = int(float32(w.lz)/w.binEdge) + 1
+	nbins := w.bx * w.by * w.bz
+
+	w.ax = dev.Alloc("cutcp.ax", w.natoms*4)
+	w.ay = dev.Alloc("cutcp.ay", w.natoms*4)
+	w.az = dev.Alloc("cutcp.az", w.natoms*4)
+	w.aq = dev.Alloc("cutcp.aq", w.natoms*4)
+	w.binStart = dev.Alloc("cutcp.binstart", (nbins+1)*4)
+	w.binIdx = dev.Alloc("cutcp.binidx", w.natoms*4)
+	w.pot = dev.Alloc("cutcp.pot", w.points()*4)
+
+	rng := newPrng(0xc07c)
+	xs := make([]float32, w.natoms)
+	ys := make([]float32, w.natoms)
+	zs := make([]float32, w.natoms)
+	qs := make([]float32, w.natoms)
+	binOf := make([]int, w.natoms)
+	counts := make([]int32, nbins+1)
+	for i := 0; i < w.natoms; i++ {
+		xs[i] = rng.f32() * float32(w.lx)
+		ys[i] = rng.f32() * float32(w.ly)
+		zs[i] = rng.f32() * float32(w.lz)
+		qs[i] = rng.f32()*2 - 1
+		binOf[i] = w.binOf(xs[i], ys[i], zs[i])
+		counts[binOf[i]+1]++
+	}
+	for c := 0; c < nbins; c++ {
+		counts[c+1] += counts[c]
+	}
+	idx := make([]int32, w.natoms)
+	cursor := make([]int32, nbins)
+	copy(cursor, counts[:nbins])
+	for i := 0; i < w.natoms; i++ {
+		idx[cursor[binOf[i]]] = int32(i)
+		cursor[binOf[i]]++
+	}
+	w.ax.HostWriteF32s(xs)
+	w.ay.HostWriteF32s(ys)
+	w.az.HostWriteF32s(zs)
+	w.aq.HostWriteF32s(qs)
+	w.binStart.HostWriteI32s(counts)
+	w.binIdx.HostWriteI32s(idx)
+	w.pot.HostZero()
+
+	w.golden = make([]float32, w.points())
+	for pz := 0; pz < w.lz; pz++ {
+		for py := 0; py < w.ly; py++ {
+			for px := 0; px < w.lx; px++ {
+				w.golden[(pz*w.ly+py)*w.lx+px] = w.potentialAt(
+					float32(px), float32(py), float32(pz),
+					xs, ys, zs, qs, counts, idx)
+			}
+		}
+	}
+}
+
+// potentialAt is the shared gather routine: golden and kernel walk the
+// same bins in the same order so float32 sums agree exactly.
+func (w *cutcp) potentialAt(x, y, z float32, xs, ys, zs, qs []float32, counts, idx []int32) float32 {
+	c2 := w.cutoff * w.cutoff
+	cx, cy, cz := int(x/w.binEdge), int(y/w.binEdge), int(z/w.binEdge)
+	var pot float32
+	for nz := cz - 1; nz <= cz+1; nz++ {
+		for ny := cy - 1; ny <= cy+1; ny++ {
+			for nx := cx - 1; nx <= cx+1; nx++ {
+				if nx < 0 || ny < 0 || nz < 0 || nx >= w.bx || ny >= w.by || nz >= w.bz {
+					continue
+				}
+				c := (nz*w.by+ny)*w.bx + nx
+				for k := counts[c]; k < counts[c+1]; k++ {
+					a := idx[k]
+					dx := xs[a] - x
+					dy := ys[a] - y
+					dz := zs[a] - z
+					d2 := dx*dx + dy*dy + dz*dz
+					if d2 < c2 && d2 > 0 {
+						pot += qs[a] / sqrtf(d2)
+					}
+				}
+			}
+		}
+	}
+	return pot
+}
+
+func (w *cutcp) Kernel(lp *core.LP) gpusim.KernelFunc {
+	c2 := w.cutoff * w.cutoff
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		b.ForAll(func(t *gpusim.Thread) {
+			px := b.Idx.X*8 + t.Idx.X
+			py := b.Idx.Y*8 + t.Idx.Y
+			pz := b.Idx.Z*4 + t.Idx.Z
+			x, y, z := float32(px), float32(py), float32(pz)
+			cx, cy, cz := int(x/w.binEdge), int(y/w.binEdge), int(z/w.binEdge)
+			var pot float32
+			for nz := cz - 1; nz <= cz+1; nz++ {
+				for ny := cy - 1; ny <= cy+1; ny++ {
+					for nx := cx - 1; nx <= cx+1; nx++ {
+						if nx < 0 || ny < 0 || nz < 0 || nx >= w.bx || ny >= w.by || nz >= w.bz {
+							continue
+						}
+						c := (nz*w.by+ny)*w.bx + nx
+						lo := t.LoadI32(w.binStart, c)
+						hi := t.LoadI32(w.binStart, c+1)
+						for k := lo; k < hi; k++ {
+							a := int(t.LoadI32(w.binIdx, int(k)))
+							dx := t.LoadF32(w.ax, a) - x
+							dy := t.LoadF32(w.ay, a) - y
+							dz := t.LoadF32(w.az, a) - z
+							d2 := dx*dx + dy*dy + dz*dz
+							t.Op(8)
+							if d2 < c2 && d2 > 0 {
+								pot += t.LoadF32(w.aq, a) / sqrtf(d2)
+								t.Op(6) // rsqrt + fma
+							}
+						}
+					}
+				}
+			}
+			t.StoreF32(w.pot, (pz*w.ly+py)*w.lx+px, pot)
+			r.UpdateF32(t, pot)
+		})
+		r.Commit()
+	}
+}
+
+func (w *cutcp) Recompute() core.RecomputeFunc {
+	return func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(t *gpusim.Thread) {
+			px := b.Idx.X*8 + t.Idx.X
+			py := b.Idx.Y*8 + t.Idx.Y
+			pz := b.Idx.Z*4 + t.Idx.Z
+			r.UpdateF32(t, t.LoadF32(w.pot, (pz*w.ly+py)*w.lx+px))
+		})
+	}
+}
+
+func (w *cutcp) Verify() error {
+	got := w.pot.PeekF32s(w.points())
+	for i := range w.golden {
+		if got[i] != w.golden[i] {
+			return mismatchF32("cutcp", i, got[i], w.golden[i])
+		}
+	}
+	return nil
+}
+
+func (w *cutcp) PersistBytes() int64 { return int64(w.points()) * 4 }
+
+// Outputs implements Workload.
+func (w *cutcp) Outputs() []memsim.Region { return []memsim.Region{w.pot} }

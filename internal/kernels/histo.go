@@ -1,0 +1,173 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// histo is the Parboil saturating histogram: a 256-bin histogram of a
+// large image whose bins saturate at 255. To keep thread blocks
+// idempotent (LP's common case, §IV-A), each block accumulates a private
+// sub-histogram in shared memory and writes it to its own slice of global
+// memory — the LP-protected output. A small finalize kernel merges and
+// saturates the per-block histograms; it runs identically in baseline and
+// LP measurements.
+type histo struct {
+	blocks    int
+	pxPerThrd int
+
+	dev     *gpusim.Device
+	img     memsim.Region // int32 pixel values 0..255
+	partial memsim.Region // int32, blocks x 256
+	final   memsim.Region // int32, 256, saturated
+
+	golden      []int32 // per-block partials
+	goldenFinal []int32
+}
+
+const (
+	histoBins         = 256
+	histoBlockThreads = 256
+)
+
+func newHISTO(scale int) *histo {
+	// 42 blocks (the paper's count) x 256 threads x 24 pixels each.
+	return &histo{blocks: 42, pxPerThrd: 24 * scale}
+}
+
+func (w *histo) pixels() int { return w.blocks * histoBlockThreads * w.pxPerThrd }
+
+func (w *histo) Name() string { return "histo" }
+
+func (w *histo) Info() Info {
+	return Info{
+		Description: "saturating histogram with privatized per-block bins",
+		Suite:       "Parboil",
+		Bottleneck:  "bandwidth",
+		Input:       fmt.Sprintf("%d pixels, %d bins, %d blocks", w.pixels(), histoBins, w.blocks),
+	}
+}
+
+func (w *histo) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	return gpusim.D1(w.blocks), gpusim.D1(histoBlockThreads)
+}
+
+func (w *histo) Setup(dev *gpusim.Device) {
+	w.dev = dev
+	n := w.pixels()
+	w.img = dev.Alloc("histo.img", n*4)
+	w.partial = dev.Alloc("histo.partial", w.blocks*histoBins*4)
+	w.final = dev.Alloc("histo.final", histoBins*4)
+
+	rng := newPrng(0x415)
+	pv := make([]int32, n)
+	for i := range pv {
+		// Skewed distribution so some bins saturate, as in the Parboil
+		// input (a silicon-wafer image with hot spots).
+		v := rng.intn(256)
+		if rng.intn(4) != 0 {
+			v = v % 32 // three quarters of the mass in the low bins
+		}
+		pv[i] = int32(v)
+	}
+	w.img.HostWriteI32s(pv)
+	w.partial.HostZero()
+	w.final.HostZero()
+
+	w.golden = make([]int32, w.blocks*histoBins)
+	for blk := 0; blk < w.blocks; blk++ {
+		lo := blk * histoBlockThreads * w.pxPerThrd
+		hi := lo + histoBlockThreads*w.pxPerThrd
+		for i := lo; i < hi; i++ {
+			w.golden[blk*histoBins+int(pv[i])]++
+		}
+	}
+	w.goldenFinal = make([]int32, histoBins)
+	for bin := 0; bin < histoBins; bin++ {
+		var s int32
+		for blk := 0; blk < w.blocks; blk++ {
+			s += w.golden[blk*histoBins+bin]
+		}
+		if s > 255 {
+			s = 255
+		}
+		w.goldenFinal[bin] = s
+	}
+}
+
+func (w *histo) Kernel(lp *core.LP) gpusim.KernelFunc {
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		bins := b.SharedI32("bins", histoBins)
+		// Phase 1: accumulate into the private shared histogram. Within
+		// a block, ForAll serializes threads, so plain shared-memory
+		// increments are exact (a real kernel would use shared-memory
+		// atomics; charge an op for them).
+		b.ForAll(func(t *gpusim.Thread) {
+			base := (b.LinearIdx*histoBlockThreads + t.Linear) * w.pxPerThrd
+			for k := 0; k < w.pxPerThrd; k++ {
+				v := t.LoadI32(w.img, base+k)
+				bins[v]++
+				t.Op(3)
+			}
+		})
+		// Phase 2: write the block's sub-histogram to its global slice.
+		b.ForAll(func(t *gpusim.Thread) {
+			v := bins[t.Linear]
+			t.StoreI32(w.partial, b.LinearIdx*histoBins+t.Linear, v)
+			r.Update(t, uint32(v))
+		})
+		r.Commit()
+	}
+}
+
+// FinalizeKernel merges the per-block histograms and saturates at 255.
+func (w *histo) FinalizeKernel() (string, gpusim.Dim3, gpusim.Dim3, gpusim.KernelFunc) {
+	k := func(b *gpusim.Block) {
+		b.ForAll(func(t *gpusim.Thread) {
+			var s int32
+			for blk := 0; blk < w.blocks; blk++ {
+				s += t.LoadI32(w.partial, blk*histoBins+t.Linear)
+				t.Op(1)
+			}
+			if s > 255 {
+				s = 255
+			}
+			t.Op(1)
+			t.StoreI32(w.final, t.Linear, s)
+		})
+	}
+	return "histo-merge", gpusim.D1(1), gpusim.D1(histoBins), k
+}
+
+func (w *histo) Recompute() core.RecomputeFunc {
+	return func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(t *gpusim.Thread) {
+			r.Update(t, uint32(t.LoadI32(w.partial, b.LinearIdx*histoBins+t.Linear)))
+		})
+	}
+}
+
+func (w *histo) Verify() error {
+	got := w.partial.PeekI32s(len(w.golden))
+	for i := range w.golden {
+		if got[i] != w.golden[i] {
+			return mismatchI32("histo.partial", i, got[i], w.golden[i])
+		}
+	}
+	gotF := w.final.PeekI32s(histoBins)
+	for i := range w.goldenFinal {
+		if gotF[i] != w.goldenFinal[i] {
+			return mismatchI32("histo.final", i, gotF[i], w.goldenFinal[i])
+		}
+	}
+	return nil
+}
+
+func (w *histo) PersistBytes() int64 { return int64(w.blocks) * histoBins * 4 }
+
+// Outputs implements Workload.
+func (w *histo) Outputs() []memsim.Region { return []memsim.Region{w.partial} }

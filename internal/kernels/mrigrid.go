@@ -1,0 +1,208 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// sqrt64 keeps the math import local to one place shared by kernels.
+func sqrt64(v float64) float64 { return math.Sqrt(v) }
+
+// mriGridding models MRI Cartesian gridding: non-uniform k-space samples
+// are convolved onto a regular grid with a separable window function. To
+// keep LP regions idempotent, the computation is gather-formulated: the
+// samples are pre-binned by grid cell, and each thread block owns an
+// exclusive 2x2 tile of output cells, gathering contributions from the
+// 3x3 cell neighborhood. The result is a very large number of very small
+// blocks — the configuration whose hash-table contention dominates Fig. 5.
+type mriGridding struct {
+	cells   int // grid is cells x cells
+	tile    int // tile edge in cells
+	samples int
+
+	dev       *gpusim.Device
+	sx, sy    memsim.Region // float32 sample coordinates (grid units)
+	sv        memsim.Region // float32 sample values
+	cellStart memsim.Region // int32, cells*cells+1 (CSR over sorted samples)
+	sampleIdx memsim.Region // int32, samples (sorted by cell)
+	grid      memsim.Region // float32 output, cells*cells
+
+	golden []float32
+}
+
+const mriGridBlockThreads = 32
+
+func newMRIGridding(scale int) *mriGridding {
+	// 128x128 cells in 2x2 tiles = 4096 blocks at scale 1.
+	return &mriGridding{cells: 128 * scale, tile: 2, samples: 8 * 128 * 128 * scale * scale}
+}
+
+func (w *mriGridding) numBlocks() int { return (w.cells / w.tile) * (w.cells / w.tile) }
+
+func (w *mriGridding) Name() string { return "mri-gridding" }
+
+func (w *mriGridding) Info() Info {
+	return Info{
+		Description: "MRI Cartesian gridding (gather-formulated convolution)",
+		Suite:       "Parboil",
+		Bottleneck:  "inst throughput",
+		Input:       fmt.Sprintf("%d samples onto %dx%d grid, %d blocks", w.samples, w.cells, w.cells, w.numBlocks()),
+	}
+}
+
+func (w *mriGridding) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	n := w.cells / w.tile
+	return gpusim.D2(n, n), gpusim.D1(mriGridBlockThreads)
+}
+
+// weight is the convolution window: a truncated squared cosine-like
+// polynomial of the squared distance, zero beyond radius 1.
+func gridWeight(d2 float32) float32 {
+	if d2 >= 1 {
+		return 0
+	}
+	t := 1 - d2
+	return t * t
+}
+
+func (w *mriGridding) Setup(dev *gpusim.Device) {
+	w.dev = dev
+	nc := w.cells * w.cells
+	w.sx = dev.Alloc("mrig.sx", w.samples*4)
+	w.sy = dev.Alloc("mrig.sy", w.samples*4)
+	w.sv = dev.Alloc("mrig.sv", w.samples*4)
+	w.cellStart = dev.Alloc("mrig.cellstart", (nc+1)*4)
+	w.sampleIdx = dev.Alloc("mrig.sampleidx", w.samples*4)
+	w.grid = dev.Alloc("mrig.grid", nc*4)
+
+	rng := newPrng(0x319d)
+	xs := make([]float32, w.samples)
+	ys := make([]float32, w.samples)
+	vs := make([]float32, w.samples)
+	cellOf := make([]int, w.samples)
+	counts := make([]int32, nc+1)
+	for i := 0; i < w.samples; i++ {
+		xs[i] = rng.f32() * float32(w.cells)
+		ys[i] = rng.f32() * float32(w.cells)
+		vs[i] = rng.f32()
+		cx, cy := int(xs[i]), int(ys[i])
+		if cx >= w.cells {
+			cx = w.cells - 1
+		}
+		if cy >= w.cells {
+			cy = w.cells - 1
+		}
+		cellOf[i] = cy*w.cells + cx
+		counts[cellOf[i]+1]++
+	}
+	for c := 0; c < nc; c++ {
+		counts[c+1] += counts[c]
+	}
+	// Counting sort of sample indices by cell.
+	idx := make([]int32, w.samples)
+	cursor := make([]int32, nc)
+	copy(cursor, counts[:nc])
+	for i := 0; i < w.samples; i++ {
+		idx[cursor[cellOf[i]]] = int32(i)
+		cursor[cellOf[i]]++
+	}
+	w.sx.HostWriteF32s(xs)
+	w.sy.HostWriteF32s(ys)
+	w.sv.HostWriteF32s(vs)
+	w.cellStart.HostWriteI32s(counts)
+	w.sampleIdx.HostWriteI32s(idx)
+	w.grid.HostZero()
+
+	// Host golden: gather in the same neighbor/sample order as the kernel.
+	w.golden = make([]float32, nc)
+	for cy := 0; cy < w.cells; cy++ {
+		for cx := 0; cx < w.cells; cx++ {
+			tx, ty := float32(cx)+0.5, float32(cy)+0.5
+			var acc float32
+			for ny := cy - 1; ny <= cy+1; ny++ {
+				for nx := cx - 1; nx <= cx+1; nx++ {
+					if nx < 0 || ny < 0 || nx >= w.cells || ny >= w.cells {
+						continue
+					}
+					c := ny*w.cells + nx
+					for k := counts[c]; k < counts[c+1]; k++ {
+						s := idx[k]
+						dx := xs[s] - tx
+						dy := ys[s] - ty
+						acc += gridWeight(dx*dx+dy*dy) * vs[s]
+					}
+				}
+			}
+			w.golden[cy*w.cells+cx] = acc
+		}
+	}
+}
+
+func (w *mriGridding) Kernel(lp *core.LP) gpusim.KernelFunc {
+	cellsPerTile := w.tile * w.tile
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		b.ForAll(func(t *gpusim.Thread) {
+			if t.Linear >= cellsPerTile {
+				return // only the first tile^2 threads own a cell
+			}
+			cx := b.Idx.X*w.tile + t.Linear%w.tile
+			cy := b.Idx.Y*w.tile + t.Linear/w.tile
+			tx, ty := float32(cx)+0.5, float32(cy)+0.5
+			var acc float32
+			for ny := cy - 1; ny <= cy+1; ny++ {
+				for nx := cx - 1; nx <= cx+1; nx++ {
+					if nx < 0 || ny < 0 || nx >= w.cells || ny >= w.cells {
+						continue
+					}
+					c := ny*w.cells + nx
+					lo := t.LoadI32(w.cellStart, c)
+					hi := t.LoadI32(w.cellStart, c+1)
+					for k := lo; k < hi; k++ {
+						s := int(t.LoadI32(w.sampleIdx, int(k)))
+						dx := t.LoadF32(w.sx, s) - tx
+						dy := t.LoadF32(w.sy, s) - ty
+						acc += gridWeight(dx*dx+dy*dy) * t.LoadF32(w.sv, s)
+						t.Op(9) // window evaluation and accumulate
+					}
+				}
+			}
+			t.StoreF32(w.grid, cy*w.cells+cx, acc)
+			r.UpdateF32(t, acc)
+		})
+		r.Commit()
+	}
+}
+
+func (w *mriGridding) Recompute() core.RecomputeFunc {
+	cellsPerTile := w.tile * w.tile
+	return func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(t *gpusim.Thread) {
+			if t.Linear >= cellsPerTile {
+				return
+			}
+			cx := b.Idx.X*w.tile + t.Linear%w.tile
+			cy := b.Idx.Y*w.tile + t.Linear/w.tile
+			r.UpdateF32(t, t.LoadF32(w.grid, cy*w.cells+cx))
+		})
+	}
+}
+
+func (w *mriGridding) Verify() error {
+	got := w.grid.PeekF32s(len(w.golden))
+	for i := range w.golden {
+		if got[i] != w.golden[i] {
+			return mismatchF32("mri-gridding", i, got[i], w.golden[i])
+		}
+	}
+	return nil
+}
+
+func (w *mriGridding) PersistBytes() int64 { return int64(w.cells) * int64(w.cells) * 4 }
+
+// Outputs implements Workload.
+func (w *mriGridding) Outputs() []memsim.Region { return []memsim.Region{w.grid} }

@@ -1,0 +1,258 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// sad is the sum-of-absolute-differences motion-estimation kernel: for
+// every 4x4 macroblock of the current frame, compute the SAD against the
+// reference frame at each of 256 candidate displacements. One thread
+// block handles one (macroblock, 32-displacement group) pair, which gives
+// the suite's largest block count with tiny blocks — the configuration
+// that stresses checksum-insertion scalability hardest (Table III).
+type sad struct {
+	dim    int // frame is dim x dim pixels
+	mb     int // macroblock edge
+	posPer int // displacements per block
+	groups int // displacement groups per macroblock
+
+	dev      *gpusim.Device
+	cur, ref memsim.Region // int32 pixel values
+	out      memsim.Region // int32 SADs, one per (4x4 mb, position)
+	out8     memsim.Region // int32 SADs for 8x8 macroblocks (combined)
+
+	golden  []int32
+	golden8 []int32
+}
+
+func newSAD(scale int) *sad {
+	// 128x128 frame, 4x4 macroblocks (1024), 256 positions in 8 groups
+	// of 32 -> 8192 blocks of 32 threads at scale 1.
+	return &sad{dim: 128 * scale, mb: 4, posPer: 32, groups: 8}
+}
+
+func (w *sad) numMBs() int     { return (w.dim / w.mb) * (w.dim / w.mb) }
+func (w *sad) numMB8s() int    { return w.numMBs() / 4 }
+func (w *sad) positions() int  { return w.posPer * w.groups }
+func (w *sad) searchEdge() int { return 16 } // 16x16 displacement grid = 256 positions
+
+func (w *sad) Name() string { return "sad" }
+
+func (w *sad) Info() Info {
+	return Info{
+		Description: "sum of absolute differences motion estimation",
+		Suite:       "Parboil",
+		Bottleneck:  "bandwidth",
+		Input:       fmt.Sprintf("%dx%d frame, %dx%d macroblocks, %d positions", w.dim, w.dim, w.mb, w.mb, w.positions()),
+	}
+}
+
+func (w *sad) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	return gpusim.D2(w.groups, w.numMBs()), gpusim.D1(w.posPer)
+}
+
+// dispOf decodes displacement p (0..255) into a (dx, dy) offset in
+// [-8, 8) around the macroblock origin.
+func (w *sad) dispOf(p int) (int, int) {
+	e := w.searchEdge()
+	return p%e - e/2, p/e - e/2
+}
+
+func (w *sad) pixel(v []int32, x, y int) int32 {
+	// Clamp to frame borders, as video codecs do for out-of-frame refs.
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= w.dim {
+		x = w.dim - 1
+	}
+	if y >= w.dim {
+		y = w.dim - 1
+	}
+	return v[y*w.dim+x]
+}
+
+func (w *sad) Setup(dev *gpusim.Device) {
+	w.dev = dev
+	n := w.dim * w.dim
+	w.cur = dev.Alloc("sad.cur", n*4)
+	w.ref = dev.Alloc("sad.ref", n*4)
+	w.out = dev.Alloc("sad.out", w.numMBs()*w.positions()*4)
+	w.out8 = dev.Alloc("sad.out8", w.numMB8s()*w.positions()*4)
+
+	rng := newPrng(0x5ad0)
+	cv := make([]int32, n)
+	rv := make([]int32, n)
+	for i := range cv {
+		cv[i] = int32(rng.intn(256))
+		// The reference is the current frame plus noise, so SADs are
+		// small for near-zero displacements (realistic motion search).
+		rv[i] = cv[i] + int32(rng.intn(17)) - 8
+		if rv[i] < 0 {
+			rv[i] = 0
+		}
+		if rv[i] > 255 {
+			rv[i] = 255
+		}
+	}
+	w.cur.HostWriteI32s(cv)
+	w.ref.HostWriteI32s(rv)
+	w.out.HostZero()
+	w.out8.HostZero()
+
+	mbsPerRow := w.dim / w.mb
+	w.golden = make([]int32, w.numMBs()*w.positions())
+	for mbi := 0; mbi < w.numMBs(); mbi++ {
+		ox := (mbi % mbsPerRow) * w.mb
+		oy := (mbi / mbsPerRow) * w.mb
+		for p := 0; p < w.positions(); p++ {
+			dx, dy := w.dispOf(p)
+			var s int32
+			for py := 0; py < w.mb; py++ {
+				for px := 0; px < w.mb; px++ {
+					d := w.pixel(cv, ox+px, oy+py) - w.pixel(rv, ox+px+dx, oy+py+dy)
+					if d < 0 {
+						d = -d
+					}
+					s += d
+				}
+			}
+			w.golden[mbi*w.positions()+p] = s
+		}
+	}
+
+	// 8x8 macroblock SADs combine four 4x4 children at each displacement
+	// (the hierarchical outputs the real SAD benchmark produces).
+	w.golden8 = make([]int32, w.numMB8s()*w.positions())
+	mb8PerRow := mbsPerRow / 2
+	for mb8 := 0; mb8 < w.numMB8s(); mb8++ {
+		x8, y8 := mb8%mb8PerRow, mb8/mb8PerRow
+		for p := 0; p < w.positions(); p++ {
+			var s int32
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					child := (y8*2+dy)*mbsPerRow + x8*2 + dx
+					s += w.golden[child*w.positions()+p]
+				}
+			}
+			w.golden8[mb8*w.positions()+p] = s
+		}
+	}
+}
+
+// FinalizeKernel combines the 4x4 SADs into 8x8 macroblock SADs, as the
+// hierarchical motion-estimation pipeline requires. It runs identically
+// in baseline and LP measurements.
+func (w *sad) FinalizeKernel() (string, gpusim.Dim3, gpusim.Dim3, gpusim.KernelFunc) {
+	mbsPerRow := w.dim / w.mb
+	mb8PerRow := mbsPerRow / 2
+	const combineThreads = 64
+	k := func(b *gpusim.Block) {
+		mb8 := b.LinearIdx
+		x8, y8 := mb8%mb8PerRow, mb8/mb8PerRow
+		b.ForAll(func(t *gpusim.Thread) {
+			for p := t.Linear; p < w.positions(); p += combineThreads {
+				var s int32
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						child := (y8*2+dy)*mbsPerRow + x8*2 + dx
+						s += t.LoadI32(w.out, child*w.positions()+p)
+						t.Op(2)
+					}
+				}
+				t.StoreI32(w.out8, mb8*w.positions()+p, s)
+			}
+		})
+	}
+	return "sad-combine8", gpusim.D1(w.numMB8s()), gpusim.D1(combineThreads), k
+}
+
+func (w *sad) Kernel(lp *core.LP) gpusim.KernelFunc {
+	mbsPerRow := w.dim / w.mb
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		group, mbi := b.Idx.X, b.Idx.Y
+		ox := (mbi % mbsPerRow) * w.mb
+		oy := (mbi / mbsPerRow) * w.mb
+
+		// Phase 1: stage the current macroblock in shared memory.
+		curMB := b.SharedI32("curMB", w.mb*w.mb)
+		b.ForAll(func(t *gpusim.Thread) {
+			if t.Linear < w.mb*w.mb {
+				px, py := t.Linear%w.mb, t.Linear/w.mb
+				curMB[t.Linear] = t.LoadI32(w.cur, (oy+py)*w.dim+(ox+px))
+				t.Op(3)
+			}
+		})
+		// Phase 2: one thread per candidate displacement.
+		b.ForAll(func(t *gpusim.Thread) {
+			p := group*w.posPer + t.Linear
+			dx, dy := w.dispOf(p)
+			var s int32
+			for py := 0; py < w.mb; py++ {
+				for px := 0; px < w.mb; px++ {
+					x, y := ox+px+dx, oy+py+dy
+					if x < 0 {
+						x = 0
+					}
+					if y < 0 {
+						y = 0
+					}
+					if x >= w.dim {
+						x = w.dim - 1
+					}
+					if y >= w.dim {
+						y = w.dim - 1
+					}
+					d := curMB[py*w.mb+px] - t.LoadI32(w.ref, y*w.dim+x)
+					if d < 0 {
+						d = -d
+					}
+					s += d
+					t.Op(5)
+				}
+			}
+			t.StoreI32(w.out, mbi*w.positions()+p, s)
+			r.Update(t, uint32(s))
+		})
+		r.Commit()
+	}
+}
+
+func (w *sad) Recompute() core.RecomputeFunc {
+	return func(b *gpusim.Block, r *core.Region) {
+		group, mbi := b.Idx.X, b.Idx.Y
+		b.ForAll(func(t *gpusim.Thread) {
+			p := group*w.posPer + t.Linear
+			r.Update(t, uint32(t.LoadI32(w.out, mbi*w.positions()+p)))
+		})
+	}
+}
+
+func (w *sad) Verify() error {
+	got := w.out.PeekI32s(len(w.golden))
+	for i := range w.golden {
+		if got[i] != w.golden[i] {
+			return mismatchI32("sad", i, got[i], w.golden[i])
+		}
+	}
+	got8 := w.out8.PeekI32s(len(w.golden8))
+	for i := range w.golden8 {
+		if got8[i] != w.golden8[i] {
+			return mismatchI32("sad.8x8", i, got8[i], w.golden8[i])
+		}
+	}
+	return nil
+}
+
+func (w *sad) PersistBytes() int64 { return int64(w.numMBs()) * int64(w.positions()) * 4 }
+
+// Outputs implements Workload.
+func (w *sad) Outputs() []memsim.Region { return []memsim.Region{w.out} }

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// spmv is sparse matrix–dense vector multiplication over a CSR matrix
+// with one thread per row — the Parboil formulation. It streams the
+// matrix once, making it bandwidth bound (Table I).
+type spmv struct {
+	rows      int
+	nnzPerRow int
+
+	dev    *gpusim.Device
+	rowPtr memsim.Region // int32, rows+1
+	colIdx memsim.Region // int32, nnz
+	vals   memsim.Region // float32, nnz
+	x      memsim.Region // float32, rows
+	y      memsim.Region // float32, rows
+
+	golden []float32
+}
+
+const spmvBlockThreads = 64
+
+func newSPMV(scale int) *spmv {
+	// 384 blocks x 64 threads at scale 1.
+	return &spmv{rows: 384 * spmvBlockThreads * scale, nnzPerRow: 8}
+}
+
+func (w *spmv) Name() string { return "spmv" }
+
+func (w *spmv) Info() Info {
+	return Info{
+		Description: "sparse matrix-dense vector multiplication (CSR, row per thread)",
+		Suite:       "Parboil",
+		Bottleneck:  "bandwidth",
+		Input:       fmt.Sprintf("%d rows, %d nnz/row", w.rows, w.nnzPerRow),
+	}
+}
+
+func (w *spmv) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	return gpusim.D1(w.rows / spmvBlockThreads), gpusim.D1(spmvBlockThreads)
+}
+
+func (w *spmv) Setup(dev *gpusim.Device) {
+	w.dev = dev
+	rows, nnz := w.rows, w.rows*w.nnzPerRow
+	w.rowPtr = dev.Alloc("spmv.rowptr", (rows+1)*4)
+	w.colIdx = dev.Alloc("spmv.colidx", nnz*4)
+	w.vals = dev.Alloc("spmv.vals", nnz*4)
+	w.x = dev.Alloc("spmv.x", rows*4)
+	w.y = dev.Alloc("spmv.y", rows*4)
+
+	rng := newPrng(0x5b17)
+	rp := make([]int32, rows+1)
+	ci := make([]int32, nnz)
+	vv := make([]float32, nnz)
+	xv := make([]float32, rows)
+	for i := 0; i <= rows; i++ {
+		rp[i] = int32(i * w.nnzPerRow)
+	}
+	for i := range ci {
+		ci[i] = int32(rng.intn(rows))
+		vv[i] = rng.f32()
+	}
+	for i := range xv {
+		xv[i] = rng.f32()
+	}
+	w.rowPtr.HostWriteI32s(rp)
+	w.colIdx.HostWriteI32s(ci)
+	w.vals.HostWriteF32s(vv)
+	w.x.HostWriteF32s(xv)
+	w.y.HostZero()
+
+	w.golden = make([]float32, rows)
+	for row := 0; row < rows; row++ {
+		var s float32
+		for k := rp[row]; k < rp[row+1]; k++ {
+			s += vv[k] * xv[ci[k]]
+		}
+		w.golden[row] = s
+	}
+}
+
+func (w *spmv) Kernel(lp *core.LP) gpusim.KernelFunc {
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		b.ForAll(func(t *gpusim.Thread) {
+			row := t.GlobalLinear()
+			lo := t.LoadI32(w.rowPtr, row)
+			hi := t.LoadI32(w.rowPtr, row+1)
+			var s float32
+			for k := lo; k < hi; k++ {
+				c := t.LoadI32(w.colIdx, int(k))
+				v := t.LoadF32(w.vals, int(k))
+				xv := t.LoadF32(w.x, int(c))
+				s += v * xv
+				t.Op(3)
+			}
+			t.StoreF32(w.y, row, s)
+			r.UpdateF32(t, s)
+		})
+		r.Commit()
+	}
+}
+
+func (w *spmv) Recompute() core.RecomputeFunc {
+	return func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(t *gpusim.Thread) {
+			r.UpdateF32(t, t.LoadF32(w.y, t.GlobalLinear()))
+		})
+	}
+}
+
+func (w *spmv) Verify() error {
+	got := w.y.PeekF32s(w.rows)
+	for i := range w.golden {
+		if got[i] != w.golden[i] {
+			return mismatchF32("spmv", i, got[i], w.golden[i])
+		}
+	}
+	return nil
+}
+
+func (w *spmv) PersistBytes() int64 { return int64(w.rows) * 4 }
+
+// Outputs implements Workload.
+func (w *spmv) Outputs() []memsim.Region { return []memsim.Region{w.y} }

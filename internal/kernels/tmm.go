@@ -1,0 +1,139 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// tmm is tiled matrix multiplication (Listing 1/2 of the paper): C = A×B
+// with square tiles staged through shared memory. The LP region is one
+// thread block computing one C tile; each thread folds its C element into
+// the block checksum right where it stores it.
+type tmm struct {
+	n    int // matrix dimension
+	tile int
+
+	dev     *gpusim.Device
+	a, b, c memsim.Region
+	golden  []float32
+}
+
+func newTMM(scale int) *tmm {
+	// 8x8 tiles over a 256x256 matrix = 1024 blocks at scale 1.
+	return &tmm{n: 256 * scale, tile: 8}
+}
+
+func (w *tmm) Name() string { return "tmm" }
+
+func (w *tmm) Info() Info {
+	return Info{
+		Description: "tiled dense matrix multiplication",
+		Suite:       "[18]",
+		Bottleneck:  "inst throughput",
+		Input:       fmt.Sprintf("%dx%d float32, %dx%d tiles", w.n, w.n, w.tile, w.tile),
+	}
+}
+
+func (w *tmm) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	nt := w.n / w.tile
+	return gpusim.D2(nt, nt), gpusim.D2(w.tile, w.tile)
+}
+
+func (w *tmm) Setup(dev *gpusim.Device) {
+	w.dev = dev
+	n := w.n
+	w.a = dev.Alloc("tmm.a", n*n*4)
+	w.b = dev.Alloc("tmm.b", n*n*4)
+	w.c = dev.Alloc("tmm.c", n*n*4)
+
+	rng := newPrng(0x7a3d)
+	av := make([]float32, n*n)
+	bv := make([]float32, n*n)
+	for i := range av {
+		av[i] = rng.f32()
+		bv[i] = rng.f32()
+	}
+	w.a.HostWriteF32s(av)
+	w.b.HostWriteF32s(bv)
+	w.c.HostZero()
+
+	// Host golden, accumulating in the kernel's k-ascending order so
+	// float32 results match bit for bit.
+	w.golden = make([]float32, n*n)
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			var s float32
+			for k := 0; k < n; k++ {
+				s += av[row*n+k] * bv[k*n+col]
+			}
+			w.golden[row*n+col] = s
+		}
+	}
+}
+
+func (w *tmm) Kernel(lp *core.LP) gpusim.KernelFunc {
+	n, ts := w.n, w.tile
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		tileA := b.SharedF32("A", ts*ts)
+		tileB := b.SharedF32("B", ts*ts)
+		acc := make([]float32, ts*ts) // per-thread running sum
+
+		for i := 0; i < n/ts; i++ {
+			b.ForAll(func(t *gpusim.Thread) {
+				ty, tx := t.Idx.Y, t.Idx.X
+				row := b.Idx.Y*ts + ty
+				col := b.Idx.X*ts + tx
+				tileA[ty*ts+tx] = t.LoadF32(w.a, row*n+i*ts+tx)
+				tileB[ty*ts+tx] = t.LoadF32(w.b, (i*ts+ty)*n+col)
+				t.Op(6) // address arithmetic + shared stores
+			})
+			b.ForAll(func(t *gpusim.Thread) {
+				ty, tx := t.Idx.Y, t.Idx.X
+				s := acc[t.Linear]
+				for j := 0; j < ts; j++ {
+					s += tileA[ty*ts+j] * tileB[j*ts+tx]
+				}
+				t.Op(3 * ts) // fma + two shared loads per step
+				acc[t.Linear] = s
+			})
+		}
+		b.ForAll(func(t *gpusim.Thread) {
+			row := b.Idx.Y*ts + t.Idx.Y
+			col := b.Idx.X*ts + t.Idx.X
+			v := acc[t.Linear]
+			t.StoreF32(w.c, row*n+col, v)
+			r.UpdateF32(t, v)
+		})
+		r.Commit()
+	}
+}
+
+func (w *tmm) Recompute() core.RecomputeFunc {
+	n, ts := w.n, w.tile
+	return func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(t *gpusim.Thread) {
+			row := b.Idx.Y*ts + t.Idx.Y
+			col := b.Idx.X*ts + t.Idx.X
+			r.UpdateF32(t, t.LoadF32(w.c, row*n+col))
+		})
+	}
+}
+
+func (w *tmm) Verify() error {
+	got := w.c.PeekF32s(w.n * w.n)
+	for i := range w.golden {
+		if got[i] != w.golden[i] {
+			return mismatchF32("tmm", i, got[i], w.golden[i])
+		}
+	}
+	return nil
+}
+
+func (w *tmm) PersistBytes() int64 { return int64(w.n) * int64(w.n) * 4 }
+
+// Outputs implements Workload.
+func (w *tmm) Outputs() []memsim.Region { return []memsim.Region{w.c} }

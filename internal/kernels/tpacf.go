@@ -1,0 +1,222 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// tpacf is the two-point angular correlation function: histograms of
+// angular separations (via dot products of unit vectors) over pairs of
+// sky positions. As in the real benchmark, three correlation classes are
+// computed — data-data (DD), data-random (DR) and random-random (RR) —
+// against an observed catalog and a synthetic random catalog. Each block
+// owns one (class, chunk-of-points) pair, correlates it against the
+// whole opposing catalog into a private shared-memory histogram, and
+// writes its per-block bins to global memory (idempotent LP regions, as
+// with HISTO). Dominated by arithmetic per pair — instruction-throughput
+// bound (Table I).
+type tpacf struct {
+	npoints  int
+	perBlock int
+	nbins    int
+
+	dev        *gpusim.Device
+	dx, dy, dz memsim.Region // float32 data catalog unit vectors
+	rx, ry, rz memsim.Region // float32 random catalog unit vectors
+	bins       memsim.Region // int32, blocks x nbins
+
+	golden []int32
+}
+
+const tpacfBlockThreads = 64
+
+// tpacfClasses is DD, DR, RR.
+const tpacfClasses = 3
+
+func newTPACF(scale int) *tpacf {
+	// 3 classes x 64 chunks = 192 blocks at scale 1; scaling grows the
+	// catalogs and the block count together.
+	return &tpacf{npoints: 512 * scale, perBlock: 8, nbins: 32}
+}
+
+func (w *tpacf) chunks() int    { return w.npoints / w.perBlock }
+func (w *tpacf) numBlocks() int { return tpacfClasses * w.chunks() }
+
+func (w *tpacf) Name() string { return "tpacf" }
+
+func (w *tpacf) Info() Info {
+	return Info{
+		Description: "two-point angular correlation (DD/DR/RR histograms)",
+		Suite:       "Parboil",
+		Bottleneck:  "inst throughput",
+		Input:       fmt.Sprintf("%d data + %d random positions, %d bins", w.npoints, w.npoints, w.nbins),
+	}
+}
+
+func (w *tpacf) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	return gpusim.D2(w.chunks(), tpacfClasses), gpusim.D1(tpacfBlockThreads)
+}
+
+// binOf maps a dot product in [-1, 1] to a bin.
+func (w *tpacf) binOf(dot float32) int {
+	bin := int((dot + 1) * 0.5 * float32(w.nbins))
+	if bin >= w.nbins {
+		bin = w.nbins - 1
+	}
+	if bin < 0 {
+		bin = 0
+	}
+	return bin
+}
+
+// catalog generates npoints unit-ish vectors from a seed.
+func (w *tpacf) catalog(seed uint64) (xs, ys, zs []float32) {
+	rng := newPrng(seed)
+	xs = make([]float32, w.npoints)
+	ys = make([]float32, w.npoints)
+	zs = make([]float32, w.npoints)
+	for i := 0; i < w.npoints; i++ {
+		x, y, z := rng.f32()*2-1, rng.f32()*2-1, rng.f32()*2-1
+		norm := x*x + y*y + z*z
+		if norm == 0 {
+			x, norm = 1, 1
+		}
+		inv := 1 / sqrtf(norm)
+		xs[i], ys[i], zs[i] = x*inv, y*inv, z*inv
+	}
+	return xs, ys, zs
+}
+
+// tpacfClassName names a correlation class: 0=DD, 1=DR, 2=RR.
+func tpacfClassName(class int) string {
+	return [...]string{"DD", "DR", "RR"}[class]
+}
+
+func (w *tpacf) Setup(dev *gpusim.Device) {
+	w.dev = dev
+	n := w.npoints
+	w.dx = dev.Alloc("tpacf.dx", n*4)
+	w.dy = dev.Alloc("tpacf.dy", n*4)
+	w.dz = dev.Alloc("tpacf.dz", n*4)
+	w.rx = dev.Alloc("tpacf.rx", n*4)
+	w.ry = dev.Alloc("tpacf.ry", n*4)
+	w.rz = dev.Alloc("tpacf.rz", n*4)
+	w.bins = dev.Alloc("tpacf.bins", w.numBlocks()*w.nbins*4)
+
+	dxs, dys, dzs := w.catalog(0x79ac)
+	rxs, rys, rzs := w.catalog(0x4a7d)
+	w.dx.HostWriteF32s(dxs)
+	w.dy.HostWriteF32s(dys)
+	w.dz.HostWriteF32s(dzs)
+	w.rx.HostWriteF32s(rxs)
+	w.ry.HostWriteF32s(rys)
+	w.rz.HostWriteF32s(rzs)
+	w.bins.HostZero()
+
+	// Host golden, in the kernel's class/chunk/pair order.
+	cats := [2][3][]float32{{dxs, dys, dzs}, {rxs, rys, rzs}}
+	outerOf := [tpacfClasses]int{0, 0, 1} // DD, DR, RR
+	innerOf := [tpacfClasses]int{0, 1, 1}
+	w.golden = make([]int32, w.numBlocks()*w.nbins)
+	for class := 0; class < tpacfClasses; class++ {
+		o, in := cats[outerOf[class]], cats[innerOf[class]]
+		for chunk := 0; chunk < w.chunks(); chunk++ {
+			blk := class*w.chunks() + chunk
+			for pi := chunk * w.perBlock; pi < (chunk+1)*w.perBlock; pi++ {
+				for pj := 0; pj < n; pj++ {
+					if class != 1 && pj == pi {
+						continue // self-pairs only exist within a catalog
+					}
+					dot := o[0][pi]*in[0][pj] + o[1][pi]*in[1][pj] + o[2][pi]*in[2][pj]
+					w.golden[blk*w.nbins+w.binOf(dot)]++
+				}
+			}
+		}
+	}
+}
+
+func (w *tpacf) Kernel(lp *core.LP) gpusim.KernelFunc {
+	n := w.npoints
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		class, chunk := b.Idx.Y, b.Idx.X
+		ox, oy, oz := w.dx, w.dy, w.dz
+		if class == 2 {
+			ox, oy, oz = w.rx, w.ry, w.rz
+		}
+		ix, iy, iz := w.rx, w.ry, w.rz
+		if class == 0 {
+			ix, iy, iz = w.dx, w.dy, w.dz
+		}
+		bins := b.SharedI32("bins", w.nbins)
+		// Phase 1: correlate this block's points against the opposing
+		// catalog. Threads stride over the catalog; shared-memory
+		// increments are exact under ForAll's serialization (charged as
+		// ops).
+		b.ForAll(func(t *gpusim.Thread) {
+			for pi := chunk * w.perBlock; pi < (chunk+1)*w.perBlock; pi++ {
+				xi := t.LoadF32(ox, pi)
+				yi := t.LoadF32(oy, pi)
+				zi := t.LoadF32(oz, pi)
+				for pj := t.Linear; pj < n; pj += tpacfBlockThreads {
+					if class != 1 && pj == pi {
+						continue
+					}
+					xj := t.LoadF32(ix, pj)
+					yj := t.LoadF32(iy, pj)
+					zj := t.LoadF32(iz, pj)
+					dot := xi*xj + yi*yj + zi*zj
+					bins[w.binOf(dot)]++
+					t.Op(12) // dot product, bin mapping, shared increment
+				}
+			}
+		})
+		// Phase 2: emit the block's private histogram.
+		blk := class*w.chunks() + chunk
+		b.ForAll(func(t *gpusim.Thread) {
+			for bin := t.Linear; bin < w.nbins; bin += tpacfBlockThreads {
+				v := bins[bin]
+				t.StoreI32(w.bins, blk*w.nbins+bin, v)
+				r.Update(t, uint32(v))
+			}
+		})
+		r.Commit()
+	}
+}
+
+func (w *tpacf) Recompute() core.RecomputeFunc {
+	return func(b *gpusim.Block, r *core.Region) {
+		blk := b.Idx.Y*w.chunks() + b.Idx.X
+		b.ForAll(func(t *gpusim.Thread) {
+			for bin := t.Linear; bin < w.nbins; bin += tpacfBlockThreads {
+				r.Update(t, uint32(t.LoadI32(w.bins, blk*w.nbins+bin)))
+			}
+		})
+	}
+}
+
+func (w *tpacf) Verify() error {
+	got := w.bins.PeekI32s(len(w.golden))
+	for i := range w.golden {
+		if got[i] != w.golden[i] {
+			class := i / w.nbins / w.chunks()
+			return fmt.Errorf("tpacf %s: %w", tpacfClassName(class),
+				mismatchI32("bins", i, got[i], w.golden[i]))
+		}
+	}
+	return nil
+}
+
+func (w *tpacf) PersistBytes() int64 { return int64(w.numBlocks()) * int64(w.nbins) * 4 }
+
+// Outputs implements Workload.
+func (w *tpacf) Outputs() []memsim.Region { return []memsim.Region{w.bins} }
+
+// sqrtf is float32 square root via the float64 intrinsic, matching what
+// kernel and golden both use so results agree exactly.
+func sqrtf(v float32) float32 {
+	return float32(sqrt64(float64(v)))
+}

@@ -1,0 +1,172 @@
+// Package megakv is a GPU-resident in-memory key-value store modeled on
+// MEGA-KV (Zhang et al., VLDB 2015), the real-world application the paper
+// evaluates in §VII-4. The index is a bucketed open hash table in device
+// global memory: each bucket holds a fixed number of (key, value) slots,
+// and batches of insert/search/delete operations are processed by GPU
+// kernels with one thread per operation.
+//
+// Because the index lives in (simulated) NVM-backed memory, protecting a
+// batch kernel with Lazy Persistency makes the store crash-recoverable:
+// a lost update is detected by the batch's block checksum and the batch
+// block re-executes, which is idempotent under set semantics (inserting
+// the same key twice overwrites; deleting twice is a no-op).
+package megakv
+
+import (
+	"fmt"
+
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// SlotsPerBucket is the bucket width. Eight 16-byte slots keep a bucket
+// within a handful of cache sectors, as in MEGA-KV's signature buckets.
+const SlotsPerBucket = 8
+
+// Tombstone marks a deleted slot. Keys must be neither 0 (empty) nor
+// Tombstone.
+const Tombstone = ^uint64(0)
+
+// Store is the bucketed hash index in device memory.
+type Store struct {
+	dev      *gpusim.Device
+	buckets  memsim.Region // nbuckets * SlotsPerBucket * 2 uint64 words
+	nbuckets int
+}
+
+// NewStore creates an empty store with the given bucket count (rounded up
+// to a power of two).
+func NewStore(dev *gpusim.Device, nbuckets int) *Store {
+	if nbuckets <= 0 {
+		panic("megakv: nbuckets must be positive")
+	}
+	n := 1
+	for n < nbuckets {
+		n <<= 1
+	}
+	r := dev.Alloc("megakv.buckets", n*SlotsPerBucket*16)
+	r.HostZero()
+	return &Store{dev: dev, buckets: r, nbuckets: n}
+}
+
+// Buckets returns the bucket count.
+func (s *Store) Buckets() int { return s.nbuckets }
+
+// Region returns the underlying memory region (for persistence checks).
+func (s *Store) Region() memsim.Region { return s.buckets }
+
+func (s *Store) bucketOf(key uint64) int {
+	x := key
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int(x^(x>>31)) & (s.nbuckets - 1)
+}
+
+func (s *Store) keyWord(bucket, slot int) int { return (bucket*SlotsPerBucket + slot) * 2 }
+func (s *Store) valWord(bucket, slot int) int { return (bucket*SlotsPerBucket+slot)*2 + 1 }
+
+func (s *Store) checkKey(key uint64) {
+	if key == 0 || key == Tombstone {
+		panic(fmt.Sprintf("megakv: reserved key %#x", key))
+	}
+}
+
+// Insert adds or overwrites key with val from device code; returns false
+// when the bucket is full. Claims empty or tombstoned slots with
+// atomicCAS; an existing slot for the key is overwritten in place.
+func (s *Store) Insert(t *gpusim.Thread, key, val uint64) bool {
+	s.checkKey(key)
+	b := s.bucketOf(key)
+	t.Op(6) // hash
+	// First pass: overwrite an existing slot for this key.
+	for slot := 0; slot < SlotsPerBucket; slot++ {
+		if t.LoadU64(s.buckets, s.keyWord(b, slot)) == key {
+			t.StoreU64(s.buckets, s.valWord(b, slot), val)
+			return true
+		}
+		t.Op(1)
+	}
+	// Second pass: claim a free slot.
+	for slot := 0; slot < SlotsPerBucket; slot++ {
+		cur := t.LoadU64(s.buckets, s.keyWord(b, slot))
+		if cur != 0 && cur != Tombstone {
+			t.Op(1)
+			continue
+		}
+		if old := t.AtomicCASU64(s.buckets, s.keyWord(b, slot), cur, key); old == cur {
+			t.StoreU64(s.buckets, s.valWord(b, slot), val)
+			return true
+		}
+	}
+	return false
+}
+
+// Search looks key up from device code.
+func (s *Store) Search(t *gpusim.Thread, key uint64) (uint64, bool) {
+	s.checkKey(key)
+	b := s.bucketOf(key)
+	t.Op(6)
+	for slot := 0; slot < SlotsPerBucket; slot++ {
+		if t.LoadU64(s.buckets, s.keyWord(b, slot)) == key {
+			return t.LoadU64(s.buckets, s.valWord(b, slot)), true
+		}
+		t.Op(1)
+	}
+	return 0, false
+}
+
+// Delete removes key from device code; returns whether it was present.
+func (s *Store) Delete(t *gpusim.Thread, key uint64) bool {
+	s.checkKey(key)
+	b := s.bucketOf(key)
+	t.Op(6)
+	for slot := 0; slot < SlotsPerBucket; slot++ {
+		if t.LoadU64(s.buckets, s.keyWord(b, slot)) == key {
+			t.AtomicExchU64(s.buckets, s.keyWord(b, slot), Tombstone)
+			return true
+		}
+		t.Op(1)
+	}
+	return false
+}
+
+// HostInsert durably pre-populates the store (direct NVM writes), using
+// the same placement as device inserts. Panics when the bucket is full.
+func (s *Store) HostInsert(key, val uint64) {
+	s.checkKey(key)
+	b := s.bucketOf(key)
+	for slot := 0; slot < SlotsPerBucket; slot++ {
+		cur := s.buckets.PeekU64(s.keyWord(b, slot))
+		if cur == key || cur == 0 || cur == Tombstone {
+			s.buckets.HostPutU64(s.keyWord(b, slot), key)
+			s.buckets.HostPutU64(s.valWord(b, slot), val)
+			return
+		}
+	}
+	panic(fmt.Sprintf("megakv: bucket %d full during host pre-population", b))
+}
+
+// HostGet returns the coherent (cache-through) value for key.
+func (s *Store) HostGet(key uint64) (uint64, bool) {
+	s.checkKey(key)
+	b := s.bucketOf(key)
+	for slot := 0; slot < SlotsPerBucket; slot++ {
+		if s.buckets.PeekU64(s.keyWord(b, slot)) == key {
+			return s.buckets.PeekU64(s.valWord(b, slot)), true
+		}
+	}
+	return 0, false
+}
+
+// NVMGet returns the durable (post-crash) value for key.
+func (s *Store) NVMGet(key uint64) (uint64, bool) {
+	s.checkKey(key)
+	b := s.bucketOf(key)
+	for slot := 0; slot < SlotsPerBucket; slot++ {
+		if s.buckets.NVMU64(s.keyWord(b, slot)) == key {
+			return s.buckets.NVMU64(s.valWord(b, slot)), true
+		}
+	}
+	return 0, false
+}

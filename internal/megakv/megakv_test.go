@@ -1,0 +1,199 @@
+package megakv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+func newTestDevice() *gpusim.Device {
+	cfg := gpusim.DefaultConfig()
+	cfg.NumSMs = 4
+	return gpusim.NewDevice(cfg, memsim.New(memsim.DefaultConfig()))
+}
+
+// runOp executes a single-thread device operation.
+func runOp(dev *gpusim.Device, f func(t *gpusim.Thread)) {
+	dev.Launch("op", gpusim.D1(1), gpusim.D1(32), func(b *gpusim.Block) {
+		b.ForAll(func(t *gpusim.Thread) {
+			if t.Linear == 0 {
+				f(t)
+			}
+		})
+	})
+}
+
+func TestInsertSearchDelete(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 64)
+
+	runOp(dev, func(th *gpusim.Thread) {
+		if !s.Insert(th, 42, 99) {
+			t.Error("insert failed")
+		}
+		v, ok := s.Search(th, 42)
+		if !ok || v != 99 {
+			t.Errorf("search: %d/%v, want 99/true", v, ok)
+		}
+		if _, ok := s.Search(th, 43); ok {
+			t.Error("found a key never inserted")
+		}
+		if !s.Delete(th, 42) {
+			t.Error("delete failed")
+		}
+		if _, ok := s.Search(th, 42); ok {
+			t.Error("found key after delete")
+		}
+		if s.Delete(th, 42) {
+			t.Error("double delete reported success")
+		}
+	})
+}
+
+func TestInsertOverwrites(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 64)
+	runOp(dev, func(th *gpusim.Thread) {
+		s.Insert(th, 7, 1)
+		s.Insert(th, 7, 2)
+		if v, _ := s.Search(th, 7); v != 2 {
+			t.Errorf("overwrite: got %d, want 2", v)
+		}
+	})
+	if v, ok := s.HostGet(7); !ok || v != 2 {
+		t.Errorf("HostGet: %d/%v", v, ok)
+	}
+}
+
+func TestTombstoneReuse(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 1) // single bucket: forces slot reuse
+	runOp(dev, func(th *gpusim.Thread) {
+		for k := uint64(1); k <= SlotsPerBucket; k++ {
+			if !s.Insert(th, k, k*10) {
+				t.Fatalf("insert %d failed", k)
+			}
+		}
+		// Bucket full now.
+		if s.Insert(th, 100, 1) {
+			t.Error("insert into full bucket should fail")
+		}
+		// Delete one, insert reuses the tombstone.
+		s.Delete(th, 3)
+		if !s.Insert(th, 100, 1) {
+			t.Error("insert after delete should reuse tombstone")
+		}
+		if v, ok := s.Search(th, 100); !ok || v != 1 {
+			t.Errorf("reused slot search: %d/%v", v, ok)
+		}
+	})
+}
+
+func TestReservedKeysPanic(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 4)
+	for _, k := range []uint64{0, Tombstone} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("key %#x did not panic", k)
+				}
+			}()
+			s.HostInsert(k, 1)
+		}()
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	dev := newTestDevice()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero buckets")
+		}
+	}()
+	NewStore(dev, 0)
+}
+
+func TestBucketsRoundedToPow2(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 100)
+	if s.Buckets() != 128 {
+		t.Errorf("Buckets = %d, want 128", s.Buckets())
+	}
+}
+
+func TestHostAndDevicePlacementAgree(t *testing.T) {
+	// A key pre-populated by the host must be found by device search, and
+	// vice versa.
+	dev := newTestDevice()
+	s := NewStore(dev, 64)
+	s.HostInsert(11, 110)
+	runOp(dev, func(th *gpusim.Thread) {
+		if v, ok := s.Search(th, 11); !ok || v != 110 {
+			t.Errorf("device search of host insert: %d/%v", v, ok)
+		}
+		s.Insert(th, 12, 120)
+	})
+	if v, ok := s.HostGet(12); !ok || v != 120 {
+		t.Errorf("host get of device insert: %d/%v", v, ok)
+	}
+}
+
+func TestNVMGetSeesOnlyDurable(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 64)
+	s.HostInsert(1, 10) // durable
+	runOp(dev, func(th *gpusim.Thread) {
+		s.Insert(th, 2, 20) // cached, not yet written back
+	})
+	if _, ok := s.NVMGet(1); !ok {
+		t.Error("durable key invisible to NVMGet")
+	}
+	if _, ok := s.NVMGet(2); ok {
+		t.Error("cached-only key visible to NVMGet before eviction")
+	}
+	dev.Mem().FlushAll()
+	if v, ok := s.NVMGet(2); !ok || v != 20 {
+		t.Errorf("flushed key not durable: %d/%v", v, ok)
+	}
+}
+
+// TestPropertySetSemantics drives random batches against a map model.
+func TestPropertySetSemantics(t *testing.T) {
+	f := func(ops []struct {
+		Key uint64
+		Val uint64
+		Del bool
+	}) bool {
+		dev := newTestDevice()
+		s := NewStore(dev, 256)
+		model := map[uint64]uint64{}
+		ok := true
+		runOp(dev, func(th *gpusim.Thread) {
+			for _, op := range ops {
+				k := op.Key%1000 + 1 // avoid reserved keys, bound bucket pressure
+				if op.Del {
+					s.Delete(th, k)
+					delete(model, k)
+				} else {
+					if !s.Insert(th, k, op.Val) {
+						continue // bucket full: skip, model unchanged
+					}
+					model[k] = op.Val
+				}
+			}
+			for k, want := range model {
+				got, found := s.Search(th, k)
+				if !found || got != want {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

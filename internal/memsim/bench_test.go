@@ -1,0 +1,44 @@
+package memsim
+
+import "testing"
+
+// BenchmarkCachedLoad measures the hot path: a load that hits in cache.
+func BenchmarkCachedLoad(b *testing.B) {
+	m := New(DefaultConfig())
+	r := m.Alloc("data", 4096)
+	r.StoreU32(AccessData, 0, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.LoadU32(AccessData, 0)
+	}
+}
+
+// BenchmarkStreamingStores measures the miss/evict path: stores striding
+// through a footprint larger than the cache.
+func BenchmarkStreamingStores(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 64 << 10
+	m := New(cfg)
+	elems := 1 << 18 // 1 MiB of u32, 16x the cache
+	r := m.Alloc("data", elems*4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StoreU32(AccessData, (i*33)%elems, uint32(i))
+	}
+}
+
+// BenchmarkFlushAll measures the checkpoint operation on a dirty cache.
+func BenchmarkFlushAll(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 256 << 10
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := New(cfg)
+		r := m.Alloc("data", 256<<10)
+		for e := 0; e < (256<<10)/4; e += 32 {
+			r.StoreU32(AccessData, e, uint32(e))
+		}
+		b.StartTimer()
+		m.FlushAll()
+	}
+}

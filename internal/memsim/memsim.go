@@ -1,0 +1,487 @@
+// Package memsim provides a byte-accurate simulation of a GPU global-memory
+// hierarchy backed by non-volatile memory (NVM).
+//
+// The model is the one assumed by the Lazy Persistency paper (IISWC 2020,
+// "Scalable and Fast Lazy Persistency on GPUs"): all device data lives in a
+// flat global address space whose durable backing store is NVM, fronted by a
+// write-back, write-allocate, set-associative cache (think of it as the L2).
+// Stores dirty cache lines; lines reach the NVM only through natural
+// eviction or an explicit whole-cache flush. A crash discards the cache, so
+// the durable state after a crash is exactly the set of lines that happened
+// to have been written back — which is the failure model Lazy Persistency
+// is designed to detect and recover from.
+//
+// The package is deliberately not goroutine-safe: the GPU simulator that
+// drives it is a deterministic discrete-event engine running on a single
+// goroutine, and determinism is a feature (experiments are reproducible
+// bit-for-bit). Use one Memory per simulated device.
+package memsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config describes the cache and NVM characteristics of a Memory.
+type Config struct {
+	// LineSize is the cache line (and NVM write) granularity in bytes.
+	LineSize int
+	// CacheBytes is the total capacity of the write-back cache.
+	CacheBytes int
+	// Ways is the set associativity of the cache.
+	Ways int
+	// NVMReadNS and NVMWriteNS are the NVM access latencies in
+	// nanoseconds. They are bookkeeping only at this layer; the GPU
+	// timing model converts them to cycles.
+	NVMReadNS  float64
+	NVMWriteNS float64
+	// NVMBandwidthGBs is the sustainable NVM bandwidth in GB/s.
+	NVMBandwidthGBs float64
+}
+
+// DefaultConfig mirrors the NVM parameters used in §VII-3 of the paper
+// (GPGPU-sim modeling a Titan V with NVM: 326.4 GB/s, 160 ns read,
+// 480 ns write) with a 4 MiB, 16-way L2 of 128-byte lines.
+func DefaultConfig() Config {
+	return Config{
+		LineSize:        128,
+		CacheBytes:      4 << 20,
+		Ways:            16,
+		NVMReadNS:       160,
+		NVMWriteNS:      480,
+		NVMBandwidthGBs: 326.4,
+	}
+}
+
+// AccessKind distinguishes the statistics buckets for device accesses.
+type AccessKind int
+
+const (
+	// AccessData is an ordinary data load/store issued by kernel code.
+	AccessData AccessKind = iota
+	// AccessChecksum is a load/store that belongs to the Lazy
+	// Persistency machinery (checksum table maintenance). Keeping it
+	// separate lets the write-amplification experiment attribute every
+	// extra NVM write to LP.
+	AccessChecksum
+	// AccessAtomic is an atomic read-modify-write.
+	AccessAtomic
+	// AccessLog is persistency-log traffic (the Eager Persistency
+	// baseline's redo log), kept separate so its write amplification is
+	// attributable.
+	AccessLog
+	numAccessKinds
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessData:
+		return "data"
+	case AccessChecksum:
+		return "checksum"
+	case AccessAtomic:
+		return "atomic"
+	case AccessLog:
+		return "log"
+	}
+	return fmt.Sprintf("AccessKind(%d)", int(k))
+}
+
+// AccessResult reports what a single device access did to the hierarchy,
+// so the GPU timing model can charge cycles and bandwidth.
+type AccessResult struct {
+	// Hit is true when the access was serviced entirely from cache.
+	Hit bool
+	// LinesFetched is the number of lines read from NVM (fill).
+	LinesFetched int
+	// LinesWrittenBack is the number of dirty lines evicted to NVM to
+	// make room.
+	LinesWrittenBack int
+}
+
+// Bytes returns the number of bytes moved between cache and NVM.
+func (r AccessResult) Bytes(lineSize int) int {
+	return (r.LinesFetched + r.LinesWrittenBack) * lineSize
+}
+
+// Stats aggregates traffic counters for a Memory.
+type Stats struct {
+	// Loads and Stores count device accesses by kind.
+	Loads  [numAccessKinds]int64
+	Stores [numAccessKinds]int64
+	// Hits and Misses count cache outcomes over all accesses.
+	Hits   int64
+	Misses int64
+	// NVMLineReads and NVMLineWrites count line-granularity NVM traffic.
+	NVMLineReads  int64
+	NVMLineWrites int64
+	// NVMWritesByRegion attributes NVM line write-backs to the
+	// allocation whose address range contains the line. Keyed by
+	// region name.
+	NVMWritesByRegion map[string]int64
+	// FlushedLines counts lines written back by explicit FlushAll calls
+	// (checkpoints), separately from natural evictions.
+	FlushedLines int64
+}
+
+// NVMBytesWritten returns total bytes written to NVM.
+func (s *Stats) NVMBytesWritten(lineSize int) int64 {
+	return s.NVMLineWrites * int64(lineSize)
+}
+
+// HitRate returns the cache hit rate over all accesses, or 0 when idle.
+func (s *Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type line struct {
+	tag   uint64 // line-aligned base address
+	valid bool
+	dirty bool
+	lru   uint64
+	data  []byte
+}
+
+type cacheSet struct {
+	ways []line
+}
+
+// Memory is a simulated NVM-backed global memory with a write-back cache.
+type Memory struct {
+	cfg     Config
+	nvm     []byte
+	sets    []cacheSet
+	numSets int
+	lruTick uint64
+	next    uint64 // allocation cursor
+	regions []Region
+	stats   Stats
+}
+
+// New creates a Memory with the given configuration.
+func New(cfg Config) *Memory {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("memsim: LineSize must be a positive power of two, got %d", cfg.LineSize))
+	}
+	if cfg.Ways <= 0 {
+		panic("memsim: Ways must be positive")
+	}
+	numSets := cfg.CacheBytes / cfg.LineSize / cfg.Ways
+	if numSets <= 0 {
+		panic("memsim: cache too small for line size and ways")
+	}
+	m := &Memory{
+		cfg:     cfg,
+		numSets: numSets,
+		sets:    make([]cacheSet, numSets),
+		next:    uint64(cfg.LineSize), // keep address 0 unused
+	}
+	for i := range m.sets {
+		m.sets[i].ways = make([]line, cfg.Ways)
+	}
+	return m
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the traffic counters.
+func (m *Memory) Stats() Stats {
+	s := m.stats
+	s.NVMWritesByRegion = make(map[string]int64, len(m.stats.NVMWritesByRegion))
+	for k, v := range m.stats.NVMWritesByRegion {
+		s.NVMWritesByRegion[k] = v
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters without touching memory contents.
+func (m *Memory) ResetStats() {
+	m.stats = Stats{}
+}
+
+// Alloc reserves size bytes of global memory under the given name and
+// returns a Region handle. Allocations are line-aligned so write-back
+// attribution per region is exact.
+func (m *Memory) Alloc(name string, size int) Region {
+	if size <= 0 {
+		panic(fmt.Sprintf("memsim: Alloc(%q) with non-positive size %d", name, size))
+	}
+	ls := uint64(m.cfg.LineSize)
+	base := (m.next + ls - 1) &^ (ls - 1)
+	end := base + uint64(size)
+	m.next = (end + ls - 1) &^ (ls - 1)
+	if int(m.next) > len(m.nvm) {
+		grown := make([]byte, m.next)
+		copy(grown, m.nvm)
+		m.nvm = grown
+	}
+	r := Region{mem: m, Name: name, Base: base, Size: size}
+	m.regions = append(m.regions, r)
+	return r
+}
+
+// regionNameFor finds the allocation containing addr, for write-back
+// attribution. Returns "(unattributed)" when no region matches.
+func (m *Memory) regionNameFor(addr uint64) string {
+	// Regions are allocated in increasing address order.
+	i := sort.Search(len(m.regions), func(i int) bool {
+		return m.regions[i].Base+uint64(m.regions[i].Size) > addr
+	})
+	if i < len(m.regions) && addr >= m.regions[i].Base {
+		return m.regions[i].Name
+	}
+	return "(unattributed)"
+}
+
+func (m *Memory) setIndex(lineAddr uint64) int {
+	return int((lineAddr / uint64(m.cfg.LineSize)) % uint64(m.numSets))
+}
+
+// lookupLine returns the cached line for lineAddr, or nil.
+func (m *Memory) lookupLine(lineAddr uint64) *line {
+	set := &m.sets[m.setIndex(lineAddr)]
+	for i := range set.ways {
+		l := &set.ways[i]
+		if l.valid && l.tag == lineAddr {
+			m.lruTick++
+			l.lru = m.lruTick
+			return l
+		}
+	}
+	return nil
+}
+
+// fillLine brings lineAddr into the cache (evicting LRU if needed) and
+// returns the line plus the access cost.
+func (m *Memory) fillLine(lineAddr uint64) (*line, AccessResult) {
+	var res AccessResult
+	set := &m.sets[m.setIndex(lineAddr)]
+	// Choose invalid way first, else LRU.
+	victim := &set.ways[0]
+	for i := range set.ways {
+		l := &set.ways[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lru < victim.lru {
+			victim = l
+		}
+	}
+	if victim.valid && victim.dirty {
+		m.writeBack(victim)
+		res.LinesWrittenBack++
+	}
+	if victim.data == nil {
+		victim.data = make([]byte, m.cfg.LineSize)
+	}
+	m.ensureNVM(lineAddr)
+	copy(victim.data, m.nvm[lineAddr:lineAddr+uint64(m.cfg.LineSize)])
+	m.stats.NVMLineReads++
+	res.LinesFetched++
+	victim.tag = lineAddr
+	victim.valid = true
+	victim.dirty = false
+	m.lruTick++
+	victim.lru = m.lruTick
+	return victim, res
+}
+
+func (m *Memory) ensureNVM(lineAddr uint64) {
+	end := int(lineAddr) + m.cfg.LineSize
+	if end > len(m.nvm) {
+		grown := make([]byte, end)
+		copy(grown, m.nvm)
+		m.nvm = grown
+	}
+}
+
+func (m *Memory) writeBack(l *line) {
+	m.ensureNVM(l.tag)
+	copy(m.nvm[l.tag:l.tag+uint64(m.cfg.LineSize)], l.data)
+	m.stats.NVMLineWrites++
+	if m.stats.NVMWritesByRegion == nil {
+		m.stats.NVMWritesByRegion = make(map[string]int64)
+	}
+	m.stats.NVMWritesByRegion[m.regionNameFor(l.tag)]++
+	l.dirty = false
+}
+
+// access performs the cache maneuver for [addr, addr+size) and returns the
+// line holding addr. size must not cross a line boundary.
+func (m *Memory) access(addr uint64, size int) (*line, AccessResult) {
+	lineAddr := addr &^ uint64(m.cfg.LineSize-1)
+	if (addr+uint64(size)-1)&^uint64(m.cfg.LineSize-1) != lineAddr {
+		panic(fmt.Sprintf("memsim: access at %#x size %d crosses a line boundary", addr, size))
+	}
+	if l := m.lookupLine(lineAddr); l != nil {
+		m.stats.Hits++
+		return l, AccessResult{Hit: true}
+	}
+	m.stats.Misses++
+	l, res := m.fillLine(lineAddr)
+	return l, res
+}
+
+// Load reads size bytes at addr through the cache as a device access.
+func (m *Memory) Load(kind AccessKind, addr uint64, size int) ([]byte, AccessResult) {
+	m.stats.Loads[kind]++
+	l, res := m.access(addr, size)
+	off := addr - l.tag
+	return l.data[off : off+uint64(size)], res
+}
+
+// Store writes buf at addr through the cache as a device access
+// (write-allocate, write-back).
+func (m *Memory) Store(kind AccessKind, addr uint64, buf []byte) AccessResult {
+	m.stats.Stores[kind]++
+	l, res := m.access(addr, len(buf))
+	off := addr - l.tag
+	copy(l.data[off:], buf)
+	l.dirty = true
+	return res
+}
+
+// Crash simulates a power failure: every cached line — including dirty
+// lines that were never written back — is discarded. The durable contents
+// afterwards are exactly the NVM image.
+func (m *Memory) Crash() {
+	for i := range m.sets {
+		for j := range m.sets[i].ways {
+			m.sets[i].ways[j].valid = false
+			m.sets[i].ways[j].dirty = false
+		}
+	}
+}
+
+// FlushAddr writes the line containing addr back to NVM if it is cached
+// and dirty (the clwb/clflushopt primitive Eager Persistency relies on),
+// returning whether a write-back happened. The line stays cached.
+func (m *Memory) FlushAddr(addr uint64) bool {
+	lineAddr := addr &^ uint64(m.cfg.LineSize-1)
+	set := &m.sets[m.setIndex(lineAddr)]
+	for i := range set.ways {
+		l := &set.ways[i]
+		if l.valid && l.tag == lineAddr && l.dirty {
+			m.writeBack(l)
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll writes every dirty line back to NVM and leaves the lines clean
+// (a whole-cache flush, i.e. the checkpoint boundary from §IV-A). It
+// returns the number of lines flushed.
+func (m *Memory) FlushAll() int {
+	n := 0
+	for i := range m.sets {
+		for j := range m.sets[i].ways {
+			l := &m.sets[i].ways[j]
+			if l.valid && l.dirty {
+				m.writeBack(l)
+				m.stats.FlushedLines++
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyLines returns the number of dirty (unpersisted) lines in the cache.
+func (m *Memory) DirtyLines() int {
+	n := 0
+	for i := range m.sets {
+		for j := range m.sets[i].ways {
+			if m.sets[i].ways[j].valid && m.sets[i].ways[j].dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PeekCoherent reads the current logical value of [addr, addr+size) —
+// cache contents if present, NVM otherwise — without touching statistics
+// or cache state. It is a host-side debugging view.
+func (m *Memory) PeekCoherent(addr uint64, size int) []byte {
+	out := make([]byte, size)
+	ls := uint64(m.cfg.LineSize)
+	for done := 0; done < size; {
+		a := addr + uint64(done)
+		lineAddr := a &^ (ls - 1)
+		off := a - lineAddr
+		n := int(ls - off)
+		if n > size-done {
+			n = size - done
+		}
+		found := false
+		set := &m.sets[m.setIndex(lineAddr)]
+		for i := range set.ways {
+			l := &set.ways[i]
+			if l.valid && l.tag == lineAddr {
+				copy(out[done:done+n], l.data[off:])
+				found = true
+				break
+			}
+		}
+		if !found {
+			m.ensureNVM(lineAddr)
+			copy(out[done:done+n], m.nvm[a:])
+		}
+		done += n
+	}
+	return out
+}
+
+// PeekNVM reads the durable (persisted) value of [addr, addr+size),
+// ignoring any cached copy. This is what a post-crash reader would see.
+func (m *Memory) PeekNVM(addr uint64, size int) []byte {
+	end := int(addr) + size
+	if end > len(m.nvm) {
+		m.ensureNVM(uint64(end-1) &^ uint64(m.cfg.LineSize-1))
+	}
+	out := make([]byte, size)
+	copy(out, m.nvm[addr:end])
+	return out
+}
+
+// HostWrite writes buf directly to NVM at addr, invalidating any cached
+// copy. It models pre-loading persistent input data (cudaMemcpy to a
+// persistent heap before kernel launch) and is not counted as device
+// traffic.
+func (m *Memory) HostWrite(addr uint64, buf []byte) {
+	end := int(addr) + len(buf)
+	if end > len(m.nvm) {
+		m.ensureNVM(uint64(end-1) &^ uint64(m.cfg.LineSize-1))
+	}
+	copy(m.nvm[addr:], buf)
+	ls := uint64(m.cfg.LineSize)
+	first := addr &^ (ls - 1)
+	last := (addr + uint64(len(buf)) - 1) &^ (ls - 1)
+	for la := first; la <= last; la += ls {
+		set := &m.sets[m.setIndex(la)]
+		for i := range set.ways {
+			l := &set.ways[i]
+			if l.valid && l.tag == la {
+				l.valid = false
+				l.dirty = false
+			}
+		}
+	}
+}
+
+// Float32Bits helpers shared by typed region views.
+
+func f32FromBytes(b []byte) float32 { return math.Float32frombits(binary.LittleEndian.Uint32(b)) }
+func f32ToBytes(dst []byte, v float32) {
+	binary.LittleEndian.PutUint32(dst, math.Float32bits(v))
+}

@@ -1,0 +1,120 @@
+package memsim
+
+import "testing"
+
+func TestLRUEvictsOldest(t *testing.T) {
+	// 2 sets x 8 ways of 64B lines. Fill one set's 8 ways, touch the
+	// first 7 again, then bring in a 9th line: way 8 (the LRU) must go.
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64*64)
+	line := func(i int) int { return i * 2 * 16 } // every other line -> set 0
+
+	for i := 0; i < 8; i++ {
+		r.StoreU32(AccessData, line(i), uint32(i+1))
+	}
+	for i := 0; i < 7; i++ {
+		r.LoadU32(AccessData, line(i)) // refresh all but line 7
+	}
+	r.LoadU32(AccessData, line(8)) // evicts line 7
+	s := m.Stats()
+	if s.NVMLineWrites != 1 {
+		t.Fatalf("evictions = %d, want exactly 1", s.NVMLineWrites)
+	}
+	if got := r.NVMU32(line(7)); got != 8 {
+		t.Errorf("evicted line was not the LRU: NVM[line7]=%d, want 8", got)
+	}
+	if got := r.NVMU32(line(0)); got != 0 {
+		t.Errorf("recently used line was evicted: NVM[line0]=%d, want 0", got)
+	}
+}
+
+func TestSetMappingIsolatesSets(t *testing.T) {
+	// Lines mapping to set 1 must not evict set 0's contents.
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64*64)
+	r.StoreU32(AccessData, 0, 42) // set 0
+	for i := 0; i < 16; i++ {
+		r.LoadU32(AccessData, (2*i+1)*16) // odd lines -> set 1
+	}
+	if got, res := r.LoadU32(AccessData, 0); got != 42 || !res.Hit {
+		t.Errorf("set-0 line disturbed by set-1 traffic: v=%d hit=%v", got, res.Hit)
+	}
+}
+
+func TestHostPutU64(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64)
+	r.StoreU64(AccessData, 1, 111) // cached dirty
+	r.HostPutU64(1, 222)
+	if got := r.NVMU64(1); got != 222 {
+		t.Errorf("HostPutU64 not durable: %d", got)
+	}
+	if got, _ := r.LoadU64(AccessData, 1); got != 222 {
+		t.Errorf("HostPutU64 did not invalidate the cached copy: %d", got)
+	}
+}
+
+func TestHostFillU64(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64)
+	r.HostFillU64(^uint64(0))
+	for i := 0; i < 8; i++ {
+		if r.NVMU64(i) != ^uint64(0) {
+			t.Fatalf("element %d not filled", i)
+		}
+	}
+	t.Run("misaligned panics", func(t *testing.T) {
+		r2 := m.Alloc("odd", 12)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for non-multiple-of-8 fill")
+			}
+		}()
+		r2.HostFillU64(1)
+	})
+}
+
+func TestPeekCoherentSpansLines(t *testing.T) {
+	// A coherent peek across a cached line and an uncached line must
+	// stitch the correct view.
+	m := New(tinyConfig())
+	r := m.Alloc("data", 256)
+	r.HostWriteI32s(make([]int32, 64)) // durable zeros
+	r.StoreU32(AccessData, 0, 0xAAAA)  // line 0 cached dirty
+	// Element 16 is in line 1, never cached.
+	raw := m.PeekCoherent(r.Base, 68)
+	if raw[0] != 0xAA || raw[1] != 0xAA {
+		t.Error("coherent span missed the cached line's dirty data")
+	}
+	if raw[64] != 0 || raw[67] != 0 {
+		t.Error("coherent span corrupted the uncached tail")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64)
+	if !r.Contains(r.Base) || !r.Contains(r.End()-1) {
+		t.Error("Contains excludes its own range")
+	}
+	if r.Contains(r.End()) || r.Contains(r.Base-1) {
+		t.Error("Contains includes neighbors")
+	}
+}
+
+func TestDirtyLinesCounts(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64*4)
+	if m.DirtyLines() != 0 {
+		t.Fatal("fresh cache has dirty lines")
+	}
+	r.StoreU32(AccessData, 0, 1)
+	r.StoreU32(AccessData, 16, 1) // second line
+	if got := m.DirtyLines(); got != 2 {
+		t.Errorf("DirtyLines = %d, want 2", got)
+	}
+	m.FlushAll()
+	if m.DirtyLines() != 0 {
+		t.Error("flush left dirty lines")
+	}
+}

@@ -1,0 +1,366 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tinyConfig() Config {
+	return Config{
+		LineSize:        64,
+		CacheBytes:      64 * 8 * 2, // 2 sets, 8 ways
+		Ways:            8,
+		NVMReadNS:       160,
+		NVMWriteNS:      480,
+		NVMBandwidthGBs: 326.4,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero line", Config{LineSize: 0, CacheBytes: 1024, Ways: 2}},
+		{"non pow2 line", Config{LineSize: 96, CacheBytes: 1024, Ways: 2}},
+		{"zero ways", Config{LineSize: 64, CacheBytes: 1024, Ways: 0}},
+		{"cache too small", Config{LineSize: 64, CacheBytes: 64, Ways: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", tc.cfg)
+				}
+			}()
+			New(tc.cfg)
+		})
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(tinyConfig())
+	a := m.Alloc("a", 10)
+	b := m.Alloc("b", 100)
+	if a.Base%64 != 0 || b.Base%64 != 0 {
+		t.Errorf("allocations not line aligned: a=%#x b=%#x", a.Base, b.Base)
+	}
+	if b.Base < a.End() {
+		t.Errorf("allocations overlap: a=[%#x,%#x) b=%#x", a.Base, a.End(), b.Base)
+	}
+	if a.Base == 0 {
+		t.Error("address 0 should not be allocated")
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	m := New(tinyConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc with size 0 did not panic")
+		}
+	}()
+	m.Alloc("bad", 0)
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 1024)
+
+	r.StoreF32(AccessData, 3, 3.5)
+	if got, _ := r.LoadF32(AccessData, 3); got != 3.5 {
+		t.Errorf("LoadF32 = %v, want 3.5", got)
+	}
+	r.StoreU64(AccessChecksum, 7, 0xdeadbeefcafe)
+	if got, _ := r.LoadU64(AccessChecksum, 7); got != 0xdeadbeefcafe {
+		t.Errorf("LoadU64 = %#x, want 0xdeadbeefcafe", got)
+	}
+	r.StoreI32(AccessData, 11, -42)
+	if got, _ := r.LoadI32(AccessData, 11); got != -42 {
+		t.Errorf("LoadI32 = %d, want -42", got)
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 1024)
+
+	_, res := r.LoadF32(AccessData, 0)
+	if res.Hit || res.LinesFetched != 1 {
+		t.Errorf("first access: got %+v, want miss with one fetch", res)
+	}
+	// Same line (64B line = 16 f32): index 1 must hit.
+	_, res = r.LoadF32(AccessData, 1)
+	if !res.Hit {
+		t.Errorf("second access to same line missed: %+v", res)
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+	if s.Loads[AccessData] != 2 {
+		t.Errorf("data loads = %d, want 2", s.Loads[AccessData])
+	}
+}
+
+func TestWriteBackOnEviction(t *testing.T) {
+	cfg := tinyConfig() // 16 lines total, 2 sets x 8 ways
+	m := New(cfg)
+	r := m.Alloc("data", 64*64) // 64 lines
+
+	// Dirty line 0 (set 0), then touch enough other set-0 lines to evict it.
+	r.StoreF32(AccessData, 0, 1.25)
+	if got := r.NVMF32(0); got == 1.25 {
+		t.Fatal("store reached NVM before eviction")
+	}
+	// Lines mapping to set 0 are every other line (2 sets).
+	for i := 1; i <= 8; i++ {
+		lineElem := i * 2 * 16 // every 2nd line, 16 f32 per line
+		r.LoadF32(AccessData, lineElem)
+	}
+	if got := r.NVMF32(0); got != 1.25 {
+		t.Errorf("evicted dirty line not written back: NVM value %v, want 1.25", got)
+	}
+	s := m.Stats()
+	if s.NVMLineWrites == 0 {
+		t.Error("no NVM line writes recorded")
+	}
+	if s.NVMWritesByRegion["data"] == 0 {
+		t.Error("write-back not attributed to region \"data\"")
+	}
+}
+
+func TestCrashLosesDirtyData(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 1024)
+	r.HostWriteF32s(make([]float32, 256)) // durable zeros
+
+	r.StoreF32(AccessData, 5, 99)
+	if got := r.PeekF32(5); got != 99 {
+		t.Fatalf("coherent view before crash = %v, want 99", got)
+	}
+	m.Crash()
+	if got := r.PeekF32(5); got != 0 {
+		t.Errorf("value survived crash without write-back: %v, want 0", got)
+	}
+	if m.DirtyLines() != 0 {
+		t.Errorf("dirty lines after crash = %d, want 0", m.DirtyLines())
+	}
+}
+
+func TestFlushAllPersists(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 1024)
+
+	r.StoreF32(AccessData, 5, 99)
+	n := m.FlushAll()
+	if n != 1 {
+		t.Errorf("FlushAll flushed %d lines, want 1", n)
+	}
+	m.Crash()
+	if got := r.NVMF32(5); got != 99 {
+		t.Errorf("flushed value lost after crash: %v, want 99", got)
+	}
+	if s := m.Stats(); s.FlushedLines != 1 {
+		t.Errorf("FlushedLines = %d, want 1", s.FlushedLines)
+	}
+}
+
+func TestHostWriteInvalidatesCache(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 1024)
+
+	r.StoreF32(AccessData, 0, 1) // cached dirty
+	r.HostWriteF32s([]float32{7, 8, 9})
+	if got, _ := r.LoadF32(AccessData, 0); got != 7 {
+		t.Errorf("load after HostWrite = %v, want 7 (stale cache not invalidated)", got)
+	}
+	if got := r.NVMF32(2); got != 9 {
+		t.Errorf("HostWrite not durable: %v, want 9", got)
+	}
+}
+
+func TestPeekViewsDiffer(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 1024)
+	r.HostZero()
+
+	r.StoreF32(AccessData, 0, 5)
+	if got := r.PeekF32(0); got != 5 {
+		t.Errorf("PeekF32 (coherent) = %v, want 5", got)
+	}
+	if got := r.NVMF32(0); got != 0 {
+		t.Errorf("NVMF32 (durable) = %v, want 0 before eviction", got)
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	r.LoadF32(AccessData, 4) // elem 4 needs bytes [16,20)
+}
+
+func TestCrossLineAccessPanics(t *testing.T) {
+	m := New(tinyConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("line-crossing access did not panic")
+		}
+	}()
+	m.Load(AccessData, 62, 4) // line size 64
+}
+
+func TestRegionAttributionMultipleRegions(t *testing.T) {
+	m := New(tinyConfig())
+	a := m.Alloc("alpha", 64)
+	b := m.Alloc("beta", 64)
+	a.StoreU32(AccessData, 0, 1)
+	b.StoreU32(AccessData, 0, 2)
+	m.FlushAll()
+	s := m.Stats()
+	if s.NVMWritesByRegion["alpha"] != 1 || s.NVMWritesByRegion["beta"] != 1 {
+		t.Errorf("attribution = %v, want alpha:1 beta:1", s.NVMWritesByRegion)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64)
+	r.StoreU32(AccessData, 0, 1)
+	m.ResetStats()
+	s := m.Stats()
+	if s.Hits+s.Misses+s.NVMLineReads+s.NVMLineWrites != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+	// Contents must survive a stats reset.
+	if got, _ := r.LoadU32(AccessData, 0); got != 1 {
+		t.Errorf("contents lost on ResetStats: %d", got)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if AccessData.String() != "data" || AccessChecksum.String() != "checksum" || AccessAtomic.String() != "atomic" {
+		t.Error("AccessKind.String mismatch")
+	}
+	if AccessKind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+// TestPropertyCoherentMatchesShadow drives random stores/loads against the
+// cache hierarchy and checks the coherent view always equals a flat shadow
+// array — the fundamental functional invariant of the hierarchy.
+func TestPropertyCoherentMatchesShadow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(tinyConfig())
+		const elems = 512
+		r := m.Alloc("data", elems*4)
+		r.HostZero()
+		shadow := make([]uint32, elems)
+		for op := 0; op < 2000; op++ {
+			idx := rng.Intn(elems)
+			switch rng.Intn(4) {
+			case 0, 1: // store
+				v := rng.Uint32()
+				r.StoreU32(AccessData, idx, v)
+				shadow[idx] = v
+			case 2: // load must match shadow
+				if got, _ := r.LoadU32(AccessData, idx); got != shadow[idx] {
+					return false
+				}
+			case 3: // coherent peek must match shadow
+				if r.PeekU32(idx) != shadow[idx] {
+					return false
+				}
+			}
+		}
+		// After a flush, the durable image matches the shadow too.
+		m.FlushAll()
+		for i := range shadow {
+			if r.NVMU32(i) != shadow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCrashSubset checks that after a crash, every durable value is
+// either the pre-run initial value or some value that was actually stored —
+// never garbage. (Persistency can lose suffixes, not invent data.)
+func TestPropertyCrashSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(tinyConfig())
+		const elems = 256
+		r := m.Alloc("data", elems*4)
+		r.HostZero()
+		written := make(map[int]map[uint32]bool)
+		for op := 0; op < 1000; op++ {
+			idx := rng.Intn(elems)
+			v := rng.Uint32() | 1 // never store zero, so zero = initial
+			r.StoreU32(AccessData, idx, v)
+			if written[idx] == nil {
+				written[idx] = map[uint32]bool{}
+			}
+			written[idx][v] = true
+		}
+		m.Crash()
+		for i := 0; i < elems; i++ {
+			got := r.NVMU32(i)
+			if got == 0 {
+				continue // initial value: store never persisted
+			}
+			if !written[i][got] {
+				return false // durable state contains a never-written value
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsNVMBytes(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64)
+	r.StoreU32(AccessData, 0, 1)
+	m.FlushAll()
+	s := m.Stats()
+	if got := s.NVMBytesWritten(64); got != 64 {
+		t.Errorf("NVMBytesWritten = %d, want 64", got)
+	}
+	if s.HitRate() < 0 || s.HitRate() > 1 {
+		t.Errorf("HitRate out of range: %v", s.HitRate())
+	}
+}
+
+func TestPeekSlices(t *testing.T) {
+	m := New(tinyConfig())
+	r := m.Alloc("data", 64)
+	r.HostWriteI32s([]int32{1, -2, 3})
+	got := r.PeekI32s(3)
+	if got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Errorf("PeekI32s = %v", got)
+	}
+	r.HostWriteF32s([]float32{1.5, 2.5})
+	gf := r.PeekF32s(2)
+	if gf[0] != 1.5 || gf[1] != 2.5 {
+		t.Errorf("PeekF32s = %v", gf)
+	}
+	r.HostWriteU64s([]uint64{42})
+	if r.PeekU64(0) != 42 {
+		t.Errorf("PeekU64 = %d", r.PeekU64(0))
+	}
+}
