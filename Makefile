@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all vet build test race smoke campaign bench ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# smoke: a quick seeded fault-injection sweep (every kernel × fault kind,
+# 8 seeds each). Exits non-zero on any panic or silent mismatch.
+smoke:
+	$(GO) run ./cmd/lpfault -seeds 8
+
+# campaign: the full 204-case robustness campaign from EXPERIMENTS.md.
+campaign:
+	$(GO) run ./cmd/lpfault -seeds 12
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+ci: vet build race smoke

@@ -67,7 +67,11 @@ func main() {
 	mem.Crash()
 	fmt.Println("CRASH: cache dropped; durable state = naturally evicted lines only")
 
-	failed, vres := lp.Validate(w.Recompute())
+	failed, vres, verr := lp.Validate(w.Recompute())
+	if verr != nil {
+		fmt.Fprintln(os.Stderr, "crashdemo: validation failed:", verr)
+		os.Exit(1)
+	}
 	fmt.Printf("validation: %d of %d regions failed checksum comparison (%d cycles)\n",
 		len(failed), grid.Size(), vres.Cycles)
 
@@ -76,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crashdemo: recovery failed:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("recovery: %v\n", rep)
+	fmt.Printf("%v\n", rep)
 
 	if f, ok := w.(kernels.Finalizer); ok {
 		fname, fg, fb, k := f.FinalizeKernel()

@@ -1,0 +1,140 @@
+// Command lpfault runs a seeded fault-injection campaign against the
+// Lazy Persistency runtime: for every (kernel, fault-kind, seed) case it
+// runs the workload under LP, injects the fault (mid-kernel crash,
+// partial eviction, torn write-backs, or NVM bit flips), recovers with
+// graceful-degradation escalation, and requires the durable image to be
+// bit-exact against a fault-free golden run — or an honest typed error.
+// Any mismatch or panic fails the campaign (non-zero exit) and is
+// minimized to its smallest reproducing case.
+//
+//	lpfault -seeds 12                      # 204-case default campaign
+//	lpfault -kernels tmm -kinds mid-kernel # one cell of the sweep
+//	lpfault -repro '{"kernel":"tmm","kind":"mid-kernel","seed":12345}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpulp/internal/faultsim"
+)
+
+func main() {
+	var (
+		kernels   = flag.String("kernels", "tmm,spmv,megakv-insert", "comma-separated workloads to stress")
+		kinds     = flag.String("kinds", "", "comma-separated fault kinds (default: all of "+kindNames()+")")
+		seeds     = flag.Int("seeds", 12, "seeded cases per (kernel, kind) pair")
+		baseSeed  = flag.Uint64("seed", 0x1a2b3c4d, "campaign base seed")
+		scale     = flag.Int("scale", 1, "workload input scale")
+		cache     = flag.Int("cache", 256<<10, "cache size in bytes")
+		maxRounds = flag.Int("maxrounds", 3, "selective-recovery round bound before escalation")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of a table")
+		minimize  = flag.Bool("minimize", true, "shrink failing cases to their smallest reproduction")
+		progress  = flag.Bool("progress", false, "print each case as it completes")
+		repro     = flag.String("repro", "", "re-run a single case from its reported JSON instead of a campaign")
+	)
+	flag.Parse()
+
+	opt := faultsim.DefaultOptions()
+	opt.Scale = *scale
+	opt.Mem.CacheBytes = *cache
+	opt.MaxRounds = *maxRounds
+
+	if *repro != "" {
+		reproduce(opt, *repro, *jsonOut)
+		return
+	}
+
+	c := &faultsim.Campaign{
+		Opt:      opt,
+		Kernels:  splitList(*kernels),
+		Seeds:    *seeds,
+		BaseSeed: *baseSeed,
+		Minimize: *minimize,
+	}
+	for _, s := range splitList(*kinds) {
+		k, err := faultsim.ParseKind(s)
+		if err != nil {
+			fatal(err)
+		}
+		c.Kinds = append(c.Kinds, k)
+	}
+	if *progress {
+		c.Progress = func(done, total int, r faultsim.Result) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %v -> %v\n", done, total, r.Case, r.Outcome)
+		}
+	}
+
+	rep, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}
+
+// reproduce replays one case from its JSON form (as reported in a
+// campaign's failures) on a freshly computed golden image.
+func reproduce(opt faultsim.Options, caseJSON string, jsonOut bool) {
+	var c faultsim.Case
+	if err := json.Unmarshal([]byte(caseJSON), &c); err != nil {
+		fatal(fmt.Errorf("bad -repro case: %w", err))
+	}
+	golden, err := faultsim.GoldenRun(opt, c.Kernel)
+	if err != nil {
+		fatal(err)
+	}
+	res := faultsim.RunCase(opt, c, golden)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("%v -> %v (tier %v, %d rounds, %d cycles)\n",
+			res.Case, res.Outcome, res.Tier, res.Rounds, res.Cycles)
+		if res.Err != "" {
+			fmt.Println("  ", res.Err)
+		}
+	}
+	if res.Outcome.Failed() {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func kindNames() string {
+	names := make([]string, 0)
+	for _, k := range faultsim.AllKinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpfault:", err)
+	os.Exit(1)
+}

@@ -102,7 +102,7 @@ func main() {
 	// and re-execute its failed blocks (reading the durable previous
 	// iterate).
 	src, dst := bufs[(crashAt-1)%2], bufs[cur]
-	failed, _ := lp.Validate(recomputeOf(dst))
+	failed, _, _ := lp.Validate(recomputeOf(dst))
 	rep, err := lp.ValidateAndRecover(sweep(src, dst), recomputeOf(dst), 4)
 	if err != nil {
 		panic(err)

@@ -119,7 +119,7 @@ func main() {
 		}
 		return idxs
 	})
-	failed, _ := lp.Validate(recompute)
+	failed, _, _ := lp.Validate(recompute)
 	rep, err := lp.ValidateAndRecover(instrumented, recompute, 3)
 	if err != nil {
 		panic(err)

@@ -69,7 +69,7 @@ func main() {
 			r.UpdateF32(t, t.LoadF32(out, t.GlobalLinear()))
 		})
 	}
-	failed, _ := lp.Validate(recompute)
+	failed, _, _ := lp.Validate(recompute)
 	fmt.Printf("validation found %d of %d regions damaged\n", len(failed), grid.Size())
 
 	// Eager recovery: re-execute exactly the failed blocks, flush, done.

@@ -77,7 +77,7 @@ func TestFacadeInstrument(t *testing.T) {
 	mem.FlushAll()
 	mem.Crash()
 
-	failed, _ := lp.Validate(func(b *gpulp.Block, r *gpulp.Region) {
+	failed, _, _ := lp.Validate(func(b *gpulp.Block, r *gpulp.Region) {
 		b.ForAll(func(th *gpulp.Thread) {
 			r.UpdateF32(th, th.LoadF32(out, th.GlobalLinear()))
 		})

@@ -1,0 +1,31 @@
+package core
+
+import "gpulp/internal/memsim"
+
+// Checkpoint is a durable restore point: a snapshot of the whole NVM
+// image taken at a moment when everything logically written so far had
+// been flushed. It is the last escalation tier of hardened recovery
+// (RecoverHardened): when selective and full-grid re-execution cannot
+// repair the durable state — corrupted inputs, or a kernel whose
+// re-execution is not idempotent — restoring the checkpoint and
+// re-running the whole launch always can.
+type Checkpoint struct {
+	mem *memsim.Memory
+	img []byte
+}
+
+// CaptureCheckpoint flushes the cache (making all pending stores durable)
+// and snapshots the durable image. Capture it after input setup — or at
+// any LP.Checkpoint boundary — to bound how far back the last recovery
+// tier rolls the computation.
+func CaptureCheckpoint(mem *memsim.Memory) *Checkpoint {
+	mem.FlushAll()
+	return &Checkpoint{mem: mem, img: mem.SnapshotNVM()}
+}
+
+// Restore rewrites the durable image from the snapshot and discards all
+// cached state, as a post-crash checkpoint restore would.
+func (c *Checkpoint) Restore() { c.mem.RestoreNVM(c.img) }
+
+// Bytes returns the snapshot footprint.
+func (c *Checkpoint) Bytes() int { return len(c.img) }

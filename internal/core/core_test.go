@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -70,7 +71,7 @@ func TestValidationPassesAfterCleanRun(t *testing.T) {
 			dev.Launch("fill", grid, blk, fillKernel(out, lp))
 			// No crash: everything coherent, so validation (which reads
 			// through the cache) must pass for every block.
-			failed, _ := lp.Validate(fillRecompute(out))
+			failed, _, _ := lp.Validate(fillRecompute(out))
 			if len(failed) != 0 {
 				t.Fatalf("clean run failed validation for %d blocks: %v...", len(failed), failed[:min(len(failed), 5)])
 			}
@@ -97,7 +98,7 @@ func TestCrashRecoveryRestoresOutput(t *testing.T) {
 
 	dev.Mem().Crash() // dirty lines lost
 
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	if len(failed) == 0 {
 		t.Skip("crash lost nothing at this scale; cannot exercise recovery")
 	}
@@ -133,7 +134,7 @@ func TestRecoveredStateIsDurable(t *testing.T) {
 	// Eager recovery flushes: a second crash immediately after recovery
 	// must lose nothing.
 	dev.Mem().Crash()
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	if len(failed) != 0 {
 		t.Fatalf("%d blocks invalid after post-recovery crash; eager recovery did not persist", len(failed))
 	}
@@ -152,7 +153,7 @@ func TestValidationDetectsLostChecksumStore(t *testing.T) {
 	dev.Mem().FlushAll()
 	lp.Reset()
 	dev.Mem().Crash()
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	if len(failed) != grid.Size() {
 		t.Errorf("%d blocks failed, want all %d (checksums were wiped)", len(failed), grid.Size())
 	}
@@ -174,7 +175,7 @@ func TestInstrumentMatchesExplicit(t *testing.T) {
 		})
 	}
 	dev.Launch("fill", grid, blk, lp.Instrument(plain, out))
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	if len(failed) != 0 {
 		t.Fatalf("instrumented run failed validation for %d blocks", len(failed))
 	}
@@ -197,7 +198,7 @@ func TestInstrumentIgnoresUnprotectedRegions(t *testing.T) {
 		})
 	}
 	dev.Launch("fill", grid, blk, lp.Instrument(kernel, out))
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	if len(failed) != 0 {
 		t.Fatalf("scratch stores leaked into checksums: %d blocks failed", len(failed))
 	}
@@ -271,15 +272,13 @@ func TestNewValidatesGeometry(t *testing.T) {
 	New(dev, DefaultConfig(), gpusim.D1(0), gpusim.D1(32))
 }
 
-func TestValidateNilRecomputePanics(t *testing.T) {
+func TestValidateNilRecomputeTypedError(t *testing.T) {
 	dev := newTestDevice()
 	lp := New(dev, DefaultConfig(), gpusim.D1(1), gpusim.D1(32))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	lp.Validate(nil)
+	_, _, err := lp.Validate(nil)
+	if !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("Validate(nil) = %v, want ErrStoreCorrupt", err)
+	}
 }
 
 func TestChecksumKindsValidate(t *testing.T) {
@@ -293,7 +292,7 @@ func TestChecksumKindsValidate(t *testing.T) {
 			cfg.Checksum = kind
 			lp := New(dev, cfg, grid, blk)
 			dev.Launch("fill", grid, blk, fillKernel(out, lp))
-			failed, _ := lp.Validate(fillRecompute(out))
+			failed, _, _ := lp.Validate(fillRecompute(out))
 			if len(failed) != 0 {
 				t.Fatalf("%v: clean run failed validation (%d blocks)", kind, len(failed))
 			}
@@ -362,7 +361,7 @@ func TestCheckpointBoundsValidation(t *testing.T) {
 		t.Error("checkpoint flushed nothing despite dirty lines")
 	}
 	dev.Mem().Crash()
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	if len(failed) != 0 {
 		t.Errorf("crash after checkpoint lost %d regions", len(failed))
 	}

@@ -56,7 +56,7 @@ func TestEpochSaltDetectsStaleZeroRegions(t *testing.T) {
 	})
 	dev.Mem().Crash()
 
-	failed, _ := lp.Validate(recompute)
+	failed, _, _ := lp.Validate(recompute)
 	if len(failed) != grid.Size() {
 		t.Fatalf("stale zero-regions validated: %d/%d failed, want all (epoch salt missing?)",
 			len(failed), grid.Size())
@@ -76,13 +76,13 @@ func TestEpochConsistencyWithinLaunch(t *testing.T) {
 		t.Fatalf("Epoch() = %d", lp.Epoch())
 	}
 	dev.Launch("fill", grid, blk, fillKernel(out, lp))
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	if len(failed) != 0 {
 		t.Fatalf("same-epoch validation failed %d regions", len(failed))
 	}
 	// A different epoch must reject everything.
 	lp.SetEpoch(43)
-	failed, _ = lp.Validate(fillRecompute(out))
+	failed, _, _ = lp.Validate(fillRecompute(out))
 	if len(failed) != grid.Size() {
 		t.Fatalf("cross-epoch validation passed %d regions", grid.Size()-len(failed))
 	}

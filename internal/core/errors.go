@@ -1,0 +1,20 @@
+package core
+
+import "errors"
+
+// Typed recovery errors. Recovery paths return these (wrapped with
+// context) instead of panicking, so fault-injection campaigns and
+// production callers can distinguish "the durable state cannot be
+// repaired" from a programming error.
+var (
+	// ErrUnrecoverable reports that recovery could not reach a clean
+	// validation within its round and escalation budget: the durable
+	// state is damaged beyond what re-execution (and any provided
+	// checkpoint) can repair.
+	ErrUnrecoverable = errors.New("persistent state unrecoverable")
+
+	// ErrStoreCorrupt reports that the checksum store cannot serve the
+	// lookups validation needs — its organization does not support the
+	// configured region fusion, or its contents are uninterpretable.
+	ErrStoreCorrupt = errors.New("checksum store corrupt or unusable")
+)

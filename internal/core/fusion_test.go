@@ -53,7 +53,7 @@ func TestFusionCleanRunValidates(t *testing.T) {
 		out.HostZero()
 		lp := New(dev, fusedConfig(f), grid, blk)
 		dev.Launch("fill", grid, blk, fillKernel(out, lp))
-		failed, _ := lp.Validate(fillRecompute(out))
+		failed, _, _ := lp.Validate(fillRecompute(out))
 		if len(failed) != 0 {
 			t.Errorf("fusion=%d: clean run failed validation for %d blocks", f, len(failed))
 		}
@@ -74,7 +74,7 @@ func TestFusionDetectsAtGroupGranularity(t *testing.T) {
 	victim := 13*blk.Size() + 5
 	out.Memory().HostWrite(out.Base+uint64(victim*4), []byte{0xff, 0xff, 0xff, 0xfe})
 
-	failed, _ := lp.Validate(fillRecompute(out))
+	failed, _, _ := lp.Validate(fillRecompute(out))
 	// The whole fused group of block 13 must fail — and nothing else.
 	if len(failed) != f {
 		t.Fatalf("failed %d blocks, want the whole group of %d", len(failed), f)

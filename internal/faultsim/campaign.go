@@ -1,0 +1,301 @@
+package faultsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// denseFlipKernels lists the workloads whose output regions are dense
+// arrays of checksummed 32-bit values: every written byte is covered by
+// the block checksums and block re-execution is byte-idempotent, so a
+// media bit flip in the data image MUST be detected and repaired
+// bit-exactly. Hash-structured workloads (MEGA-KV) fold only a 32-bit
+// digest per operation and relocate repaired keys, so data flips there
+// would probe the workload's instrumentation gap rather than LP itself.
+var denseFlipKernels = map[string]bool{
+	"tmm": true, "spmv": true, "tpacf": true, "cutcp": true,
+	"mri-q": true, "mri-gridding": true, "sad": true,
+}
+
+// Applicable reports whether kind is a meaningful, decidable probe for
+// kernel (see denseFlipKernels for the one exclusion).
+func Applicable(kernel string, kind Kind) bool {
+	if kind != DataBitFlips {
+		return true
+	}
+	return denseFlipKernels[kernel]
+}
+
+// Campaign sweeps seeded fault cases over kernels × fault kinds.
+type Campaign struct {
+	Opt Options
+	// Kernels are the workloads to stress (default: tmm, spmv,
+	// megakv-insert — the paper's §VII-4 application plus two dense
+	// Table I kernels).
+	Kernels []string
+	// Kinds are the fault shapes to inject (default: all).
+	Kinds []Kind
+	// Seeds is the number of seeded cases per applicable
+	// (kernel, kind) pair.
+	Seeds int
+	// BaseSeed perturbs every derived case seed; a report is
+	// reproducible from (BaseSeed, Kernels, Kinds, Seeds) or from any
+	// single case's recorded seed.
+	BaseSeed uint64
+	// Minimize shrinks every failing case to its smallest reproducing
+	// parameters before reporting.
+	Minimize bool
+	// Progress, when non-nil, observes each completed case.
+	Progress func(done, total int, r Result)
+}
+
+// DefaultCampaign returns the standard regression campaign: with
+// seeds = 12 it is 204 cases (3 kernels × 6 kinds, minus the one
+// inapplicable pair, × 12 seeds).
+func DefaultCampaign(seeds int) *Campaign {
+	if seeds <= 0 {
+		seeds = 12
+	}
+	return &Campaign{
+		Opt:      DefaultOptions(),
+		Kernels:  []string{"tmm", "spmv", "megakv-insert"},
+		Kinds:    AllKinds(),
+		Seeds:    seeds,
+		BaseSeed: 0x1a2b3c4d,
+		Minimize: true,
+	}
+}
+
+// KindSummary aggregates one (kernel, kind) cell of the sweep.
+type KindSummary struct {
+	Kernel      string `json:"kernel"`
+	Kind        string `json:"kind"`
+	Cases       int    `json:"cases"`
+	Recovered   int    `json:"recovered"`
+	TypedErrors int    `json:"typed_errors"`
+	Mismatches  int    `json:"mismatches"`
+	Panics      int    `json:"panics"`
+	// MaxTier is the highest recovery tier any case needed.
+	MaxTier string `json:"max_tier"`
+	// MeanRecoveryCycles is the average simulated recovery cost.
+	MeanRecoveryCycles int64 `json:"mean_recovery_cycles"`
+}
+
+// Report is the structured result of a campaign run.
+type Report struct {
+	Total       int           `json:"total"`
+	Recovered   int           `json:"recovered"`
+	TypedErrors int           `json:"typed_errors"`
+	Mismatches  int           `json:"mismatches"`
+	Panics      int           `json:"panics"`
+	Summaries   []KindSummary `json:"summaries"`
+	// Failures lists every case that violated the campaign contract
+	// (mismatch or panic), reproducible from its recorded Case alone.
+	Failures []Result `json:"failures,omitempty"`
+	// Minimized pairs each failure with its shrunk reproduction.
+	Minimized []Result `json:"minimized,omitempty"`
+}
+
+// Failed reports whether any case violated the campaign contract.
+func (r *Report) Failed() bool { return r.Mismatches > 0 || r.Panics > 0 }
+
+// Run executes the campaign. Golden images are computed once per kernel;
+// every case runs on its own fresh simulated system.
+func (c *Campaign) Run() (*Report, error) {
+	opt := c.Opt
+	if opt.Scale < 1 {
+		opt.Scale = 1
+	}
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 3
+	}
+	kernels := c.Kernels
+	if len(kernels) == 0 {
+		kernels = []string{"tmm", "spmv", "megakv-insert"}
+	}
+	kinds := c.Kinds
+	if len(kinds) == 0 {
+		kinds = AllKinds()
+	}
+	seeds := c.Seeds
+	if seeds <= 0 {
+		seeds = 12
+	}
+
+	goldens := make(map[string]*Golden, len(kernels))
+	total := 0
+	for _, name := range kernels {
+		g, err := GoldenRun(opt, name)
+		if err != nil {
+			return nil, err
+		}
+		goldens[name] = g
+		for _, kind := range kinds {
+			if Applicable(name, kind) {
+				total += seeds
+			}
+		}
+	}
+
+	rep := &Report{Total: total}
+	cells := map[string]*KindSummary{}
+	done := 0
+	for ki, name := range kernels {
+		for kj, kind := range kinds {
+			if !Applicable(name, kind) {
+				continue
+			}
+			key := name + "/" + kind.String()
+			cell := &KindSummary{Kernel: name, Kind: kind.String(), MaxTier: "selective"}
+			cells[key] = cell
+			var cycles int64
+			for s := 0; s < seeds; s++ {
+				seed := splitmix(c.BaseSeed ^ splitmix(uint64(ki)<<40|uint64(kj)<<20|uint64(s)))
+				res := RunCase(opt, Case{Kernel: name, Kind: kind, Seed: seed}, goldens[name])
+				done++
+				cell.Cases++
+				cycles += res.Cycles
+				switch res.Outcome {
+				case Recovered:
+					rep.Recovered++
+					cell.Recovered++
+				case TypedError:
+					rep.TypedErrors++
+					cell.TypedErrors++
+				case Mismatch:
+					rep.Mismatches++
+					cell.Mismatches++
+				case Panicked:
+					rep.Panics++
+					cell.Panics++
+				}
+				if tierRank(res.Tier.String()) > tierRank(cell.MaxTier) {
+					cell.MaxTier = res.Tier.String()
+				}
+				if res.Outcome.Failed() {
+					rep.Failures = append(rep.Failures, res)
+					if c.Minimize {
+						rep.Minimized = append(rep.Minimized, MinimizeCase(opt, res, goldens[name]))
+					}
+				}
+				if c.Progress != nil {
+					c.Progress(done, total, res)
+				}
+			}
+			if cell.Cases > 0 {
+				cell.MeanRecoveryCycles = cycles / int64(cell.Cases)
+			}
+		}
+	}
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rep.Summaries = append(rep.Summaries, *cells[k])
+	}
+	return rep, nil
+}
+
+// tierRank orders tiers by escalation level.
+func tierRank(s string) int {
+	switch s {
+	case "selective":
+		return 0
+	case "full-grid":
+		return 1
+	case "checkpoint":
+		return 2
+	}
+	return -1
+}
+
+// MinimizeCase shrinks a failing case to the smallest reproducing
+// parameters by greedy descent over the fault magnitude (crash point or
+// flip count), re-running each candidate. The returned Result is the
+// smallest case that still fails — or the original when no smaller one
+// does. Every candidate is fully seeded, so the minimized case
+// reproduces from its Case alone.
+func MinimizeCase(opt Options, failing Result, golden *Golden) Result {
+	best := failing
+	switch failing.Case.Kind {
+	case MidKernelCrash:
+		// Try to reproduce at ever-earlier crash points.
+		after := failing.CrashedAfter
+		for step := after / 2; step >= 1; step /= 2 {
+			cand := best.Case
+			cand.AfterBlocks = bestAfter(best) - step
+			if cand.AfterBlocks < 1 {
+				continue
+			}
+			if r := RunCase(opt, cand, golden); r.Outcome.Failed() {
+				best = r
+			}
+		}
+	case DataBitFlips, StoreBitFlips:
+		// A single flip is the minimal media error.
+		for flips := 1; flips < injectedFlips(best); flips++ {
+			cand := best.Case
+			cand.Flips = flips
+			if r := RunCase(opt, cand, golden); r.Outcome.Failed() {
+				best = r
+				break
+			}
+		}
+	}
+	return best
+}
+
+func bestAfter(r Result) int {
+	if r.Case.AfterBlocks > 0 {
+		return r.Case.AfterBlocks
+	}
+	return r.CrashedAfter
+}
+
+func injectedFlips(r Result) int {
+	if r.Case.Flips > 0 {
+		return r.Case.Flips
+	}
+	return r.Injected
+}
+
+// Render writes the report as an aligned text table plus failure
+// reproduction lines.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "fault-injection campaign: %d cases — %d recovered, %d typed errors, %d mismatches, %d panics\n",
+		r.Total, r.Recovered, r.TypedErrors, r.Mismatches, r.Panics)
+	rows := [][]string{{"kernel", "fault", "cases", "recovered", "typed-err", "mismatch", "panic", "max tier", "mean rec cycles"}}
+	for _, s := range r.Summaries {
+		rows = append(rows, []string{
+			s.Kernel, s.Kind, fmt.Sprint(s.Cases), fmt.Sprint(s.Recovered),
+			fmt.Sprint(s.TypedErrors), fmt.Sprint(s.Mismatches), fmt.Sprint(s.Panics),
+			s.MaxTier, fmt.Sprint(s.MeanRecoveryCycles),
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	for i, f := range r.Failures {
+		fmt.Fprintf(w, "FAILURE %d: %v -> %v (%s)\n", i+1, f.Case, f.Outcome, f.Err)
+		if i < len(r.Minimized) {
+			m := r.Minimized[i]
+			fmt.Fprintf(w, "  minimized: %v -> %v\n", m.Case, m.Outcome)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package faultsim is a deterministic, seeded fault-injection campaign
+// engine for the Lazy Persistency runtime. It subjects LP-protected
+// kernels to the failure shapes that actually stress the paper's
+// correctness claim (§II-A, §IV): crashes mid-kernel with blocks in
+// flight, arbitrary eviction subsets and orderings, torn line
+// write-backs, and NVM media bit flips that probe the checksum scheme's
+// detection limits (Fig. 2). Every case is reproducible from its
+// (kernel, kind, seed) triple alone; a campaign sweeps seeds × fault
+// kinds × kernels, asserts the post-recovery durable image is bit-exact
+// against a fault-free golden run, and minimizes any failing case to its
+// smallest reproducing parameters.
+package faultsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/kernels"
+	"gpulp/internal/memsim"
+)
+
+// Kind is a fault shape the engine can inject.
+type Kind int
+
+const (
+	// CleanCrash drops the whole cache at the kernel boundary — the
+	// baseline failure the repo could already simulate.
+	CleanCrash Kind = iota
+	// MidKernelCrash crashes after a seeded number of block completions,
+	// leaving the grid genuinely partial (some blocks retired and
+	// committed checksums, the rest never ran).
+	MidKernelCrash
+	// PartialEviction writes a random subset of dirty lines back in
+	// arbitrary order before dropping the rest.
+	PartialEviction
+	// TornWriteback is PartialEviction where some write-backs persist
+	// only a prefix of the line (8-byte media atomicity).
+	TornWriteback
+	// DataBitFlips crashes, then flips bits in a persistent output
+	// region — NVM media errors the checksums must detect.
+	DataBitFlips
+	// StoreBitFlips crashes, then flips bits in the checksum store
+	// itself — corruption of LP's own recovery metadata.
+	StoreBitFlips
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CleanCrash:
+		return "clean-crash"
+	case MidKernelCrash:
+		return "mid-kernel"
+	case PartialEviction:
+		return "partial-evict"
+	case TornWriteback:
+		return "torn-lines"
+	case DataBitFlips:
+		return "data-bitflips"
+	case StoreBitFlips:
+		return "store-bitflips"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// AllKinds returns every fault kind.
+func AllKinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKind parses a Kind's String form.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faultsim: unknown fault kind %q", s)
+}
+
+// MarshalJSON writes the readable String form — reported cases are
+// meant to be replayed by hand.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts either the String form or the numeric constant.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		kk, err := ParseKind(s)
+		if err != nil {
+			return err
+		}
+		*k = kk
+		return nil
+	}
+	var i int
+	if err := json.Unmarshal(b, &i); err != nil {
+		return fmt.Errorf("faultsim: fault kind must be a name or number: %s", b)
+	}
+	if i < 0 || i >= int(numKinds) {
+		return fmt.Errorf("faultsim: fault kind %d out of range", i)
+	}
+	*k = Kind(i)
+	return nil
+}
+
+// Case identifies one reproducible fault-injection run. Kernel, Kind and
+// Seed alone determine everything; AfterBlocks and Flips are normally 0
+// (derived from Seed) and are pinned only by the minimizer.
+type Case struct {
+	Kernel string `json:"kernel"`
+	Kind   Kind   `json:"kind"`
+	Seed   uint64 `json:"seed"`
+	// AfterBlocks pins the mid-kernel crash point (0 = derive from Seed).
+	AfterBlocks int `json:"after_blocks,omitempty"`
+	// Flips pins the injected bit-flip count (0 = derive from Seed).
+	Flips int `json:"flips,omitempty"`
+}
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	s := fmt.Sprintf("%s/%s seed=%#x", c.Kernel, c.Kind, c.Seed)
+	if c.AfterBlocks > 0 {
+		s += fmt.Sprintf(" after=%d", c.AfterBlocks)
+	}
+	if c.Flips > 0 {
+		s += fmt.Sprintf(" flips=%d", c.Flips)
+	}
+	return s
+}
+
+// Outcome classifies a case result.
+type Outcome int
+
+const (
+	// Recovered means recovery succeeded and the durable image is
+	// bit-exact against the fault-free golden run.
+	Recovered Outcome = iota
+	// TypedError means recovery reported a typed corruption error
+	// (ErrUnrecoverable / ErrStoreCorrupt) — an acceptable, honest
+	// outcome for damage beyond repair.
+	TypedError
+	// Mismatch means recovery claimed success but the durable image
+	// diverges from golden — silent corruption, a campaign failure.
+	Mismatch
+	// Panicked means the runtime panicked — always a campaign failure.
+	Panicked
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Recovered:
+		return "recovered"
+	case TypedError:
+		return "typed-error"
+	case Mismatch:
+		return "MISMATCH"
+	case Panicked:
+		return "PANIC"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Failed reports whether the outcome violates the campaign contract
+// (recover bit-exact or return a typed error — never panic, never lie).
+func (o Outcome) Failed() bool { return o == Mismatch || o == Panicked }
+
+// MarshalJSON writes the readable String form.
+func (o Outcome) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// Result reports one executed case.
+type Result struct {
+	Case    Case              `json:"case"`
+	Outcome Outcome           `json:"outcome"`
+	Tier    core.RecoveryTier `json:"tier"`
+	// Rounds and FirstRoundFailed summarize the recovery effort; Cycles
+	// is its simulated cost.
+	Rounds           int   `json:"rounds"`
+	FirstRoundFailed int   `json:"first_round_failed"`
+	Cycles           int64 `json:"cycles"`
+	// CrashedAfter is the number of blocks that retired before a
+	// mid-kernel crash (0 for boundary crashes).
+	CrashedAfter int `json:"crashed_after,omitempty"`
+	// Injected counts bits flipped into the durable image.
+	Injected int `json:"injected,omitempty"`
+	// Err carries the error or panic text for non-Recovered outcomes.
+	Err string `json:"err,omitempty"`
+}
+
+// Options fixes the simulated platform for a campaign.
+type Options struct {
+	// Scale is the workload input scale.
+	Scale int
+	// Mem and Dev configure the simulated hierarchy; Mem.CacheBytes
+	// defaults to 256 KiB so natural eviction persists most of a run
+	// (the realistic partial-loss scenario).
+	Mem memsim.Config
+	Dev gpusim.Config
+	// LP selects the runtime design point (default: the paper's final
+	// design).
+	LP core.Config
+	// MaxRounds bounds the selective tier of hardened recovery.
+	MaxRounds int
+}
+
+// DefaultOptions returns the campaign platform defaults.
+func DefaultOptions() Options {
+	mem := memsim.DefaultConfig()
+	mem.CacheBytes = 256 << 10
+	return Options{
+		Scale:     1,
+		Mem:       mem,
+		Dev:       gpusim.DefaultConfig(),
+		LP:        core.DefaultConfig(),
+		MaxRounds: 3,
+	}
+}
+
+// Golden is the fault-free durable image of a workload's persistent
+// outputs, the reference every case must reproduce bit-exactly.
+type Golden struct {
+	outputs [][]byte
+	// written holds, per output region, the byte offsets the kernel
+	// actually wrote (where the golden image differs from the
+	// post-setup image). Media-error injection targets these: a flip in
+	// a never-written byte is outside LP's protection contract (no
+	// checksum ever covered it), so it would probe nothing.
+	written [][]int
+}
+
+// GoldenRun computes the golden image for a kernel by running it on a
+// fresh fault-free system and flushing everything durable.
+func GoldenRun(opt Options, kernel string) (g *Golden, err error) {
+	// An unknown workload name or a setup failure surfaces as a panic in
+	// the kernels package; a campaign caller gets a plain error instead.
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("faultsim: golden run of %s failed: %v", kernel, r)
+		}
+	}()
+	mem := memsim.New(opt.Mem)
+	dev := gpusim.NewDevice(opt.Dev, mem)
+	w := kernels.New(kernel, opt.Scale)
+	w.Setup(dev)
+	grid, blk := w.Geometry()
+	initial := make([][]byte, 0, len(w.Outputs()))
+	for _, r := range w.Outputs() {
+		initial = append(initial, mem.PeekNVM(r.Base, r.Size))
+	}
+	dev.Launch(kernel, grid, blk, w.Kernel(nil))
+	if f, ok := w.(kernels.Finalizer); ok {
+		name, fg, fb, k := f.FinalizeKernel()
+		dev.Launch(name, fg, fb, k)
+	}
+	mem.FlushAll()
+	if err := w.Verify(); err != nil {
+		return nil, fmt.Errorf("faultsim: golden run of %s is itself wrong: %w", kernel, err)
+	}
+	g = &Golden{}
+	for i, r := range w.Outputs() {
+		img := mem.PeekNVM(r.Base, r.Size)
+		g.outputs = append(g.outputs, img)
+		var wr []int
+		for j := range img {
+			if img[j] != initial[i][j] {
+				wr = append(wr, j)
+			}
+		}
+		g.written = append(g.written, wr)
+	}
+	return g, nil
+}
+
+// splitmix advances a SplitMix64 state — used to derive per-case seeds.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RunCase executes one fault-injection case end to end: run the kernel
+// under LP, inject the fault at its seeded point, recover with hardened
+// escalation, and compare the durable image against golden. It never
+// panics: a runtime panic is converted into the Panicked outcome.
+func RunCase(opt Options, c Case, golden *Golden) (res Result) {
+	res.Case = c
+	defer func() {
+		if r := recover(); r != nil {
+			res.Outcome = Panicked
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(int64(splitmix(c.Seed))))
+	mem := memsim.New(opt.Mem)
+	dev := gpusim.NewDevice(opt.Dev, mem)
+	w := kernels.New(c.Kernel, opt.Scale)
+	w.Setup(dev)
+	grid, blk := w.Geometry()
+	lp := core.New(dev, opt.LP, grid, blk)
+	// The durable state right after setup (inputs, zeroed outputs,
+	// cleared checksum store) is the restore point of last resort.
+	ck := core.CaptureCheckpoint(mem)
+	kernel := w.Kernel(lp)
+
+	switch c.Kind {
+	case MidKernelCrash:
+		after := c.AfterBlocks
+		if after <= 0 {
+			after = 1 + rng.Intn(grid.Size())
+		}
+		res.CrashedAfter = after
+		dev.SetCrashTrigger(&gpusim.CrashTrigger{
+			AfterBlocks: after,
+			Fire:        func(*gpusim.Device) { mem.Crash() },
+		})
+		dev.Launch(c.Kernel, grid, blk, kernel)
+	default:
+		dev.Launch(c.Kernel, grid, blk, kernel)
+		switch c.Kind {
+		case CleanCrash:
+			mem.Crash()
+		case PartialEviction:
+			mem.PartialCrash(rng, memsim.CrashProfile{EvictFrac: 0.2 + 0.6*rng.Float64()})
+		case TornWriteback:
+			mem.PartialCrash(rng, memsim.CrashProfile{
+				EvictFrac: 0.3 + 0.5*rng.Float64(),
+				TornFrac:  0.2 + 0.5*rng.Float64(),
+			})
+		case DataBitFlips:
+			mem.Crash()
+			n := c.Flips
+			if n <= 0 {
+				n = 1 + rng.Intn(4)
+			}
+			outs := w.Outputs()
+			ri := rng.Intn(len(outs))
+			r := outs[ri]
+			if wr := golden.written[ri]; len(wr) > 0 {
+				// Flip bits only within bytes the kernel actually wrote:
+				// those are the ones the checksums claim to cover.
+				for i := 0; i < n; i++ {
+					off := uint64(wr[rng.Intn(len(wr))])
+					mem.InjectBitFlipsRange(rng, r.Base+off, 1, 1)
+				}
+				res.Injected = n
+			} else {
+				res.Injected = len(mem.InjectBitFlipsRange(rng, r.Base, r.Size, n))
+			}
+		case StoreBitFlips:
+			mem.Crash()
+			n := c.Flips
+			if n <= 0 {
+				n = 1 + rng.Intn(4)
+			}
+			tabs := lp.Store().TableRegions()
+			r := tabs[rng.Intn(len(tabs))]
+			res.Injected = len(mem.InjectBitFlipsRange(rng, r.Base, r.Size, n))
+		default:
+			res.Outcome = TypedError
+			res.Err = fmt.Sprintf("faultsim: unknown fault kind %v", c.Kind)
+			return res
+		}
+	}
+
+	rep, err := lp.RecoverHardened(kernel, w.Recompute(), core.RecoverOpts{
+		MaxRounds:  opt.MaxRounds,
+		Checkpoint: ck,
+	})
+	res.Tier = rep.Tier
+	res.Rounds = rep.Rounds
+	res.Cycles = rep.TotalCycles()
+	if len(rep.FailedPerRound) > 0 {
+		res.FirstRoundFailed = rep.FailedPerRound[0]
+	}
+	if err != nil {
+		res.Err = err.Error()
+		if errors.Is(err, core.ErrUnrecoverable) || errors.Is(err, core.ErrStoreCorrupt) {
+			res.Outcome = TypedError
+		} else {
+			res.Outcome = Mismatch
+		}
+		return res
+	}
+
+	if f, ok := w.(kernels.Finalizer); ok {
+		name, fg, fb, k := f.FinalizeKernel()
+		dev.Launch(name, fg, fb, k)
+	}
+	mem.FlushAll()
+	for i, r := range w.Outputs() {
+		if !bytes.Equal(mem.PeekNVM(r.Base, r.Size), golden.outputs[i]) {
+			res.Outcome = Mismatch
+			res.Err = fmt.Sprintf("durable image of %s diverges from fault-free golden", r.Name)
+			return res
+		}
+	}
+	res.Outcome = Recovered
+	return res
+}

@@ -1,0 +1,121 @@
+package faultsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCampaignSmoke runs a small but complete campaign — every fault
+// kind over a dense and a hash-structured workload — and requires the
+// campaign contract to hold: every case either recovers bit-exact or
+// returns a typed error; zero panics, zero silent mismatches.
+func TestCampaignSmoke(t *testing.T) {
+	c := DefaultCampaign(2)
+	c.Kernels = []string{"tmm", "megakv-insert"}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 kernels × 6 kinds − 1 inapplicable (megakv data flips), × 2 seeds.
+	if want := (2*int(numKinds) - 1) * 2; rep.Total != want {
+		t.Fatalf("campaign ran %d cases, want %d", rep.Total, want)
+	}
+	if rep.Failed() {
+		var sb strings.Builder
+		rep.Render(&sb)
+		t.Fatalf("campaign contract violated:\n%s", sb.String())
+	}
+	if rep.Recovered+rep.TypedErrors != rep.Total {
+		t.Fatalf("outcome counts inconsistent: %+v", rep)
+	}
+	if len(rep.Summaries) != 2*int(numKinds)-1 {
+		t.Fatalf("expected a summary row per (kernel, kind) cell, got %d", len(rep.Summaries))
+	}
+}
+
+// TestCaseReproducible asserts a case replays identically from its
+// recorded Case alone — the property that makes campaign failures
+// debuggable.
+func TestCaseReproducible(t *testing.T) {
+	opt := DefaultOptions()
+	golden, err := GoldenRun(opt, "tmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Case{Kernel: "tmm", Kind: TornWriteback, Seed: 0xdeadbeef}
+	a := RunCase(opt, c, golden)
+	b := RunCase(opt, c, golden)
+	if a != b {
+		t.Fatalf("case not reproducible:\n  first:  %+v\n  second: %+v", a, b)
+	}
+	if a.Outcome.Failed() {
+		t.Fatalf("torn-writeback case failed: %+v", a)
+	}
+}
+
+// TestMidKernelCrashPinned pins the crash point and checks the recorded
+// crash parameters round-trip into the result.
+func TestMidKernelCrashPinned(t *testing.T) {
+	opt := DefaultOptions()
+	golden, err := GoldenRun(opt, "tmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunCase(opt, Case{Kernel: "tmm", Kind: MidKernelCrash, Seed: 7, AfterBlocks: 3}, golden)
+	if res.CrashedAfter != 3 {
+		t.Fatalf("CrashedAfter = %d, want the pinned 3", res.CrashedAfter)
+	}
+	if res.Outcome != Recovered {
+		t.Fatalf("mid-kernel crash at block 3 did not recover: %+v", res)
+	}
+}
+
+// TestMinimizeKeepsOriginalWhenNoSmallerFails: if no smaller crash point
+// reproduces, the minimizer must hand back the original case untouched.
+func TestMinimizeKeepsOriginalWhenNoSmallerFails(t *testing.T) {
+	opt := DefaultOptions()
+	golden, err := GoldenRun(opt, "tmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunCase(opt, Case{Kernel: "tmm", Kind: MidKernelCrash, Seed: 11, AfterBlocks: 4}, golden)
+	if res.Outcome != Recovered {
+		t.Fatalf("setup case unexpectedly failed: %+v", res)
+	}
+	// Pretend it failed; every smaller candidate recovers, so the
+	// minimizer must return it unchanged.
+	fake := res
+	fake.Outcome = Mismatch
+	min := MinimizeCase(opt, fake, golden)
+	if min.Case != fake.Case {
+		t.Fatalf("minimizer replaced a failure with a passing case: %+v", min.Case)
+	}
+}
+
+// TestApplicable pins the one applicability exclusion and its rationale.
+func TestApplicable(t *testing.T) {
+	if !Applicable("tmm", DataBitFlips) || !Applicable("spmv", DataBitFlips) {
+		t.Error("data bit flips must apply to dense float kernels")
+	}
+	if Applicable("megakv-insert", DataBitFlips) {
+		t.Error("data bit flips into the MEGA-KV index are not a decidable probe")
+	}
+	for _, k := range AllKinds() {
+		if k != DataBitFlips && !Applicable("megakv-insert", k) {
+			t.Errorf("kind %v should apply to megakv-insert", k)
+		}
+	}
+}
+
+// TestParseKind round-trips every kind through its String form.
+func TestParseKind(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}

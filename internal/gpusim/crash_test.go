@@ -1,0 +1,86 @@
+package gpusim
+
+import "testing"
+
+func TestCrashTriggerAfterBlocks(t *testing.T) {
+	d := testDevice()
+	out := d.Alloc("out", 1024*4)
+	fired := 0
+	d.SetCrashTrigger(&CrashTrigger{
+		AfterBlocks: 3,
+		Fire:        func(*Device) { fired++ },
+	})
+	kernel := func(b *Block) {
+		b.ForAll(func(th *Thread) {
+			th.StoreI32(out, th.GlobalLinear(), int32(th.GlobalLinear()))
+		})
+	}
+	res := d.Launch("work", D1(8), D1(128), kernel)
+	if !res.Interrupted {
+		t.Fatal("launch was not marked interrupted")
+	}
+	if res.Blocks != 3 {
+		t.Fatalf("retired %d blocks, want exactly 3", res.Blocks)
+	}
+	if fired != 1 {
+		t.Fatalf("trigger fired %d times, want once", fired)
+	}
+	// Blocks past the crash point never executed.
+	if got := out.PeekI32(3*128 + 5); got != 0 {
+		t.Fatalf("block 3 wrote %d after the crash", got)
+	}
+	if got := out.PeekI32(2*128 + 5); got != int32(2*128+5) {
+		t.Fatalf("retired block 2 missing its store: %d", got)
+	}
+
+	// One-shot: the next launch must run to completion.
+	res = d.Launch("work", D1(8), D1(128), kernel)
+	if res.Interrupted || res.Blocks != 8 {
+		t.Fatalf("trigger not disarmed after firing: %+v", res)
+	}
+	if fired != 1 {
+		t.Fatalf("trigger re-fired: %d", fired)
+	}
+}
+
+func TestCrashTriggerAtCycle(t *testing.T) {
+	d := testDevice()
+	out := d.Alloc("out", 4096*4)
+	kernel := func(b *Block) {
+		b.ForAll(func(th *Thread) {
+			th.StoreI32(out, th.GlobalLinear(), 1)
+		})
+	}
+	// Baseline to learn the launch length in cycles.
+	base := d.Launch("work", D1(32), D1(128), kernel)
+	if base.Cycles <= 0 {
+		t.Fatal("baseline launch has no cycles")
+	}
+	d.Mem().Crash()
+
+	fired := false
+	d.SetCrashTrigger(&CrashTrigger{
+		AtCycle: base.Cycles / 2,
+		Fire:    func(*Device) { fired = true },
+	})
+	res := d.Launch("work", D1(32), D1(128), kernel)
+	if !fired || !res.Interrupted {
+		t.Fatalf("mid-cycle trigger did not fire: fired=%v res=%+v", fired, res)
+	}
+	if res.Blocks == 0 || res.Blocks >= 32 {
+		t.Fatalf("crash at half the schedule retired %d of 32 blocks", res.Blocks)
+	}
+}
+
+func TestCrashTriggerDisarm(t *testing.T) {
+	d := testDevice()
+	out := d.Alloc("out", 512*4)
+	d.SetCrashTrigger(&CrashTrigger{AfterBlocks: 1, Fire: func(*Device) { t.Fatal("disarmed trigger fired") }})
+	d.SetCrashTrigger(nil)
+	res := d.Launch("work", D1(4), D1(128), func(b *Block) {
+		b.ForAll(func(th *Thread) { th.StoreI32(out, th.GlobalLinear(), 1) })
+	})
+	if res.Interrupted || res.Blocks != 4 {
+		t.Fatalf("disarmed trigger affected the launch: %+v", res)
+	}
+}

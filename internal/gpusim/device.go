@@ -17,6 +17,7 @@ type Device struct {
 	locks     []*Lock
 	storeHook StoreHook
 	traceSink func(LaunchTrace)
+	crash     *CrashTrigger
 }
 
 // StoreHook observes every 32-bit data store a kernel performs. It is the
@@ -83,6 +84,9 @@ type LaunchResult struct {
 	// MaxConcurrency is the number of SM block slots the launch could
 	// occupy simultaneously.
 	MaxConcurrency int
+	// Interrupted reports that an armed CrashTrigger fired mid-launch;
+	// Blocks then counts only the blocks that retired before the crash.
+	Interrupted bool
 }
 
 // MS returns the launch duration in milliseconds (requires the config used
@@ -158,6 +162,11 @@ func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, select
 		if minStart := int64(orderIdx) * d.cfg.BlockDispatchCycles; start < minStart {
 			start = minStart
 		}
+		if tr := d.crash; tr != nil && tr.AtCycle > 0 && start >= tr.AtCycle {
+			d.fireCrash()
+			res.Interrupted = true
+			break
+		}
 		b := &Block{
 			dev:       d,
 			Idx:       grid.Unlinear(lin),
@@ -175,7 +184,14 @@ func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, select
 		res.L2Bytes += b.totL2Bytes
 		res.NVMBytes += b.totNVMBytes
 		res.AtomicStallCycles += b.totAtomicStall
+
+		if tr := d.crash; tr != nil && tr.AfterBlocks > 0 && len(recs) >= tr.AfterBlocks {
+			d.fireCrash()
+			res.Interrupted = true
+			break
+		}
 	}
+	res.Blocks = len(recs)
 
 	// Pass 2: fixed-point timing with queueing delays.
 	cycles, aStall, lStall := d.schedule(recs, len(slots))

@@ -119,7 +119,7 @@ func (r *Runner) Fusion() (*Table, error) {
 		kernel := w.Kernel(lp)
 		dev.Launch("tmm", grid, blk, kernel)
 		mem.Crash()
-		failed, _ := lp.Validate(w.Recompute())
+		failed, _, _ := lp.Validate(w.Recompute())
 		rep, err := lp.ValidateAndRecover(kernel, w.Recompute(), 5)
 		if err != nil {
 			return nil, fmt.Errorf("fusion=%d: %w", f, err)
@@ -177,7 +177,7 @@ func (r *Runner) Checkpoint() (*Table, error) {
 		}
 
 		mem.Crash()
-		failed, _ := lp.Validate(w.Recompute())
+		failed, _, _ := lp.Validate(w.Recompute())
 		rep, err := lp.ValidateAndRecover(kernel, w.Recompute(), 5)
 		if err != nil {
 			return nil, fmt.Errorf("interval=%d: %w", interval, err)
@@ -260,7 +260,7 @@ func (r *Runner) MTBFPlan() (*Table, error) {
 	// Flush cost in cycles: line write-backs at NVM bandwidth.
 	lineBytes := float64(r.Opt.Mem.LineSize)
 	flushCost := float64(flushedLines) * lineBytes / r.Opt.Dev.NVMBytesPerCycle
-	_, vres := lp.Validate(w.Recompute())
+	_, vres, _ := lp.Validate(w.Recompute())
 
 	for _, mtbf := range []float64{1e7, 1e9, 1e11} {
 		p := core.CheckpointPlanner{
@@ -302,7 +302,7 @@ func (r *Runner) RecoveryCost() (*Table, error) {
 		full := dev.Launch("tmm", grid, blk, kernel)
 
 		mem.Crash()
-		failed, _ := lp.Validate(w.Recompute())
+		failed, _, _ := lp.Validate(w.Recompute())
 		rep, err := lp.ValidateAndRecover(kernel, w.Recompute(), 5)
 		if err != nil {
 			return nil, fmt.Errorf("cache %dKB: %w", cacheKB, err)

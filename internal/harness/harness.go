@@ -144,6 +144,7 @@ var Experiments = []Experiment{
 	{"megakv", "§VII-4: MEGA-KV operation overheads", (*Runner).MegaKV},
 	{"falseneg", "§IV-B: checksum false-negative rates under error injection", (*Runner).FalseNeg},
 	{"recovery", "§II-A/§IV-A: crash, validation and recovery", (*Runner).Recovery},
+	{"faultcampaign", "robustness: seeded fault-injection campaign vs hardened recovery", (*Runner).FaultCampaign},
 	{"epcompare", "§I/§II: Eager vs Lazy Persistency", (*Runner).EPCompare},
 	{"scaling", "ablation: LP overhead vs thread-block count", (*Runner).Scaling},
 	{"fusion", "ablation: region fusion factor (§IV-A enlargement)", (*Runner).Fusion},

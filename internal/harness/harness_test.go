@@ -362,3 +362,19 @@ func TestDefaultOptionsSane(t *testing.T) {
 	}
 	_ = gpusim.DefaultConfig() // keep import balanced with usage above
 }
+
+func TestFaultCampaignExperiment(t *testing.T) {
+	r := smallRunner()
+	tbl, err := r.FaultCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("fault campaign produced no rows")
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "0" {
+			t.Errorf("%s/%s: %s cases violated the campaign contract", row[0], row[1], row[5])
+		}
+	}
+}

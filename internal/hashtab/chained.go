@@ -70,6 +70,11 @@ func (c *chainedStore) TableBytes() int64 {
 	return int64(c.buckets)*8 + int64(c.cap)*chainNodeWords*8 + 8
 }
 
+// TableRegions implements Store.
+func (c *chainedStore) TableRegions() []memsim.Region {
+	return []memsim.Region{c.heads, c.pool, c.cursor}
+}
+
 // Clear durably empties buckets and the node pool cursor.
 func (c *chainedStore) Clear() {
 	c.heads.HostZero()

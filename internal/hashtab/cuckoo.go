@@ -56,6 +56,11 @@ func (c *cuckooStore) setSeeds(base, epoch uint64) {
 func (c *cuckooStore) Kind() Kind        { return Cuckoo }
 func (c *cuckooStore) Stats() *Stats     { return &c.stats }
 func (c *cuckooStore) TableBytes() int64 { return 2 * int64(c.tabs[0].cap) * slotBytes }
+
+// TableRegions implements Store.
+func (c *cuckooStore) TableRegions() []memsim.Region {
+	return []memsim.Region{c.tabs[0].region, c.tabs[1].region}
+}
 func (c *cuckooStore) Clear() {
 	c.tabs[0].clear()
 	c.tabs[1].clear()

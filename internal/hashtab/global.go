@@ -62,6 +62,9 @@ func (g *globalArray) Kind() Kind        { return GlobalArray }
 func (g *globalArray) Stats() *Stats     { return &g.stats }
 func (g *globalArray) TableBytes() int64 { return int64(g.nKeys) * int64(g.words()) * 8 }
 
+// TableRegions implements Store.
+func (g *globalArray) TableRegions() []memsim.Region { return []memsim.Region{g.region} }
+
 // Clear durably re-initializes the table.
 func (g *globalArray) Clear() {
 	if g.merge {

@@ -107,6 +107,10 @@ type Store interface {
 	// TableBytes is the global-memory footprint of the store, used for
 	// the Table V space-overhead column.
 	TableBytes() int64
+	// TableRegions returns the global-memory allocations backing the
+	// store, so fault-injection campaigns can target checksum-store
+	// corruption directly.
+	TableRegions() []memsim.Region
 	// Stats returns the mutable statistics of the store.
 	Stats() *Stats
 	// Clear durably empties the store (host-side, between runs).

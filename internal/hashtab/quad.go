@@ -46,6 +46,9 @@ func newQuad(dev *gpusim.Device, name string, cfg Config) *quadStore {
 func (q *quadStore) Kind() Kind        { return Quad }
 func (q *quadStore) Stats() *Stats     { return &q.stats }
 func (q *quadStore) TableBytes() int64 { return int64(q.tab.cap) * slotBytes }
+
+// TableRegions implements Store.
+func (q *quadStore) TableRegions() []memsim.Region { return []memsim.Region{q.tab.region} }
 func (q *quadStore) Clear()            { q.tab.clear() }
 
 func (q *quadStore) home(key uint64) int {

@@ -59,7 +59,7 @@ func TestLPOutputsMatchGoldenAndValidate(t *testing.T) {
 			if err := w.Verify(); err != nil {
 				t.Fatalf("LP run broke output: %v", err)
 			}
-			failed, _ := lp.Validate(w.Recompute())
+			failed, _, _ := lp.Validate(w.Recompute())
 			if len(failed) != 0 {
 				t.Fatalf("clean LP run failed validation for %d/%d blocks", len(failed), grid.Size())
 			}
