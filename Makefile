@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race smoke campaign bench ci
+.PHONY: all vet build test race race-parallel matrix smoke campaign bench ci
 
 all: ci
 
@@ -16,6 +16,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-parallel: focused -race coverage of the host-parallel execution
+# paths — the speculative block engine (gpusim), the root determinism
+# suite's store/recovery slices, and the harness/campaign fan-out.
+race-parallel:
+	$(GO) test -race -run 'TestParallel' ./internal/gpusim/
+	$(GO) test -race -short -run 'TestParallelDeterminismStores|TestParallelDeterminismRecovery' .
+	$(GO) test -race -run 'TestCampaignParallel|TestScalingParallel' ./internal/faultsim/ ./internal/harness/
+
+# matrix: the parallel determinism suite at two host scheduler widths;
+# GOMAXPROCS must never change a reported number. -count=1 defeats the
+# test cache, which does not key on GOMAXPROCS (the runtime reads it,
+# not the test).
+matrix:
+	GOMAXPROCS=1 $(GO) test -short -count=1 -run 'TestParallelDeterminism' .
+	GOMAXPROCS=4 $(GO) test -short -count=1 -run 'TestParallelDeterminism' .
+
 # smoke: a quick seeded fault-injection sweep (every kernel × fault kind,
 # 8 seeds each). Exits non-zero on any panic or silent mismatch.
 smoke:
@@ -25,7 +41,10 @@ smoke:
 campaign:
 	$(GO) run ./cmd/lpfault -seeds 12
 
+# bench: regenerate every artifact benchmark, then record the
+# serial-vs-parallel wall-clock comparison to BENCH_parallel.json.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$'
+	$(GO) test -bench=. -benchmem -run '^$$' .
+	BENCH_JSON=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -v .
 
-ci: vet build race smoke
+ci: vet build race race-parallel matrix smoke

@@ -12,11 +12,16 @@ package gpulp_test
 // -benchtime. cmd/lpbench renders the same artifacts as tables.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"gpulp/internal/faultsim"
 	"gpulp/internal/harness"
 )
 
@@ -355,5 +360,136 @@ func BenchmarkAblationLoadFactor(b *testing.B) {
 		c95, _ := strconv.ParseFloat(lastRow(tbl)[2], 64)
 		b.ReportMetric(c70, "collisions-at-70pct")
 		b.ReportMetric(c95, "collisions-at-95pct")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Serial vs parallel wall-clock (the host-parallel execution paths:
+// harness Options.Parallel and faultsim Campaign.Parallel). Both paths
+// are bit-deterministic at any width — see determinism_test.go — so
+// these benchmarks measure time only. `make bench` also runs
+// TestWriteBenchParallelJSON, which records the comparison to
+// BENCH_parallel.json.
+
+// benchParallel matches the `-parallel 8` invocations the README
+// documents for cmd/lpbench and cmd/lpfault.
+const benchParallel = 8
+
+func runScalingOnce(tb testing.TB, parallel int) time.Duration {
+	tb.Helper()
+	opt := harness.DefaultOptions()
+	opt.Parallel = parallel
+	r := harness.NewRunner(opt)
+	start := time.Now()
+	if _, err := r.Scaling(); err != nil {
+		tb.Fatalf("scaling (parallel=%d): %v", parallel, err)
+	}
+	return time.Since(start)
+}
+
+func runCampaignOnce(tb testing.TB, parallel int) time.Duration {
+	tb.Helper()
+	c := faultsim.DefaultCampaign(2)
+	c.Minimize = false
+	c.Parallel = parallel
+	start := time.Now()
+	rep, err := c.Run()
+	if err != nil {
+		tb.Fatalf("campaign (parallel=%d): %v", parallel, err)
+	}
+	if rep.Failed() {
+		tb.Fatalf("campaign (parallel=%d) reported failures", parallel)
+	}
+	return time.Since(start)
+}
+
+func BenchmarkScalingSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runScalingOnce(b, 1)
+	}
+}
+
+func BenchmarkScalingParallel8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runScalingOnce(b, benchParallel)
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCampaignOnce(b, 1)
+	}
+}
+
+func BenchmarkCampaignParallel8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runCampaignOnce(b, benchParallel)
+	}
+}
+
+// benchEntry is one serial-vs-parallel comparison in BENCH_parallel.json.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	GeneratedBy string       `json:"generated_by"`
+	HostCPUs    int          `json:"host_cpus"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Parallel    int          `json:"parallel"`
+	Entries     []benchEntry `json:"entries"`
+	Note        string       `json:"note"`
+}
+
+// TestWriteBenchParallelJSON measures the serial and parallel wall-clock
+// of the scaling experiment and a small fault campaign and writes the
+// comparison to the file named by BENCH_JSON (skipped when unset; wired
+// up by `make bench`). Wall-clock speedup tracks min(host_cpus,
+// gomaxprocs, parallel): on a single-CPU host the fan-out cannot reduce
+// wall-clock and the recorded speedup is ~1.0x, which is why the host
+// CPU count is part of the report.
+func TestWriteBenchParallelJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> (or run `make bench`) to record serial-vs-parallel timings")
+	}
+	entry := func(name string, run func(tb testing.TB, parallel int) time.Duration) benchEntry {
+		serial := run(t, 1)
+		par := run(t, benchParallel)
+		return benchEntry{
+			Name:       name,
+			SerialMS:   float64(serial.Microseconds()) / 1e3,
+			ParallelMS: float64(par.Microseconds()) / 1e3,
+			Speedup:    float64(serial) / float64(par),
+		}
+	}
+	rep := benchReport{
+		GeneratedBy: "make bench (bench_test.go TestWriteBenchParallelJSON)",
+		HostCPUs:    runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallel:    benchParallel,
+		Entries: []benchEntry{
+			entry("lpbench -exp scaling -parallel 8", runScalingOnce),
+			entry("lpfault -seeds 2 -minimize=false -parallel 8", runCampaignOnce),
+		},
+		Note: "results are bit-identical at any parallel width; wall-clock speedup is bounded by min(host_cpus, gomaxprocs, parallel) and by the longest single job",
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Entries {
+		t.Logf("%s: serial %.0fms, parallel %.0fms, speedup %.2fx", e.Name, e.SerialMS, e.ParallelMS, e.Speedup)
 	}
 }

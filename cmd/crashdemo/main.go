@@ -31,7 +31,7 @@ func main() {
 
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = *cache
-	mem := memsim.New(memCfg)
+	mem := memsim.MustNew(memCfg)
 	dev := gpusim.NewDevice(gpusim.DefaultConfig(), mem)
 
 	if *tracePath != "" {

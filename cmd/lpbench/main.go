@@ -19,11 +19,13 @@ import (
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: "+ids()+")")
-		scale   = flag.Int("scale", 1, "workload input scale factor")
-		verify  = flag.Bool("verify", false, "verify every run's output against the host golden reference")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		format  = flag.String("format", "text", "output format: text or markdown")
+		expList  = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: "+ids()+")")
+		scale    = flag.Int("scale", 1, "workload input scale factor")
+		verify   = flag.Bool("verify", false, "verify every run's output against the host golden reference")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		format   = flag.String("format", "text", "output format: text or markdown")
+		parallel = flag.Int("parallel", 1, "host goroutines fanning out independent experiment runs (results are bit-identical at any value)")
+		workers  = flag.Int("workers", 1, "host goroutines per simulated device executing thread blocks speculatively (results are bit-identical at any value)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 	opt := harness.DefaultOptions()
 	opt.Scale = *scale
 	opt.Verify = *verify
+	opt.Parallel = *parallel
+	opt.Dev.Workers = *workers
 	r := harness.NewRunner(opt)
 
 	if *expList == "all" {

@@ -34,6 +34,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of a table")
 		minimize  = flag.Bool("minimize", true, "shrink failing cases to their smallest reproduction")
 		progress  = flag.Bool("progress", false, "print each case as it completes")
+		parallel  = flag.Int("parallel", 1, "host goroutines running campaign cases concurrently (the report is bit-identical at any value)")
 		repro     = flag.String("repro", "", "re-run a single case from its reported JSON instead of a campaign")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		Seeds:    *seeds,
 		BaseSeed: *baseSeed,
 		Minimize: *minimize,
+		Parallel: *parallel,
 	}
 	for _, s := range splitList(*kinds) {
 		k, err := faultsim.ParseKind(s)

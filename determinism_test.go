@@ -1,0 +1,212 @@
+package gpulp_test
+
+// Determinism regression suite for the parallel execution engine: every
+// observable output of a run with Config.Workers=N must be bit-identical
+// to the serial engine (Workers=1). This is the contract that lets the
+// harness and fault campaigns parallelize without perturbing any number
+// the repo reports.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gpulp/internal/core"
+	"gpulp/internal/faultsim"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/hashtab"
+	"gpulp/internal/kernels"
+	"gpulp/internal/memsim"
+)
+
+const detWorkers = 8
+
+// kernelRun captures every observable output of one workload run.
+type kernelRun struct {
+	launch   gpusim.LaunchResult
+	finalize gpusim.LaunchResult
+	memStats memsim.Stats
+	tabStats hashtab.Stats
+	nvm      []byte
+}
+
+func runWorkload(t *testing.T, name string, workers int, lpCfg *core.Config) kernelRun {
+	t.Helper()
+	mem := memsim.MustNew(memsim.DefaultConfig())
+	devCfg := gpusim.DefaultConfig()
+	devCfg.Workers = workers
+	dev := gpusim.NewDevice(devCfg, mem)
+	w := kernels.New(name, 1)
+	w.Setup(dev)
+	grid, blk := w.Geometry()
+
+	var lp *core.LP
+	if lpCfg != nil {
+		lp = core.New(dev, *lpCfg, grid, blk)
+	}
+	mem.ResetStats()
+	var run kernelRun
+	run.launch = dev.Launch(name, grid, blk, w.Kernel(lp))
+	if f, ok := w.(kernels.Finalizer); ok {
+		fname, fg, fb, k := f.FinalizeKernel()
+		run.finalize = dev.Launch(fname, fg, fb, k)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s (workers=%d): %v", name, workers, err)
+	}
+	run.memStats = mem.Stats()
+	if lp != nil {
+		run.tabStats = *lp.Store().Stats()
+	}
+	run.nvm = mem.NVMImage()
+	return run
+}
+
+func compareRuns(t *testing.T, label string, serial, parallel kernelRun) {
+	t.Helper()
+	if serial.launch != parallel.launch {
+		t.Errorf("%s: launch result diverged\nserial:   %+v\nparallel: %+v", label, serial.launch, parallel.launch)
+	}
+	if serial.finalize != parallel.finalize {
+		t.Errorf("%s: finalize result diverged\nserial:   %+v\nparallel: %+v", label, serial.finalize, parallel.finalize)
+	}
+	if !reflect.DeepEqual(serial.memStats, parallel.memStats) {
+		t.Errorf("%s: memory stats diverged\nserial:   %+v\nparallel: %+v", label, serial.memStats, parallel.memStats)
+	}
+	if serial.tabStats != parallel.tabStats {
+		t.Errorf("%s: checksum-store stats diverged\nserial:   %+v\nparallel: %+v", label, serial.tabStats, parallel.tabStats)
+	}
+	if !bytes.Equal(serial.nvm, parallel.nvm) {
+		for i := range serial.nvm {
+			if serial.nvm[i] != parallel.nvm[i] {
+				t.Errorf("%s: NVM image diverged at byte %#x (serial %#x, parallel %#x)", label, i, serial.nvm[i], parallel.nvm[i])
+				break
+			}
+		}
+	}
+}
+
+// TestParallelDeterminismKernels runs every registered workload — bare and
+// under the default LP configuration — with the serial and parallel
+// engines, asserting that kernel cycles, byte/stall totals, NVM write
+// counters (total and by-region), collision statistics, and the full
+// post-run durable memory image are bit-identical.
+func TestParallelDeterminismKernels(t *testing.T) {
+	names := append([]string{}, kernels.Names...)
+	names = append(names, "megakv-mixed")
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			compareRuns(t, name+"/bare",
+				runWorkload(t, name, 1, nil),
+				runWorkload(t, name, detWorkers, nil))
+			lpCfg := core.DefaultConfig()
+			compareRuns(t, name+"/lp",
+				runWorkload(t, name, 1, &lpCfg),
+				runWorkload(t, name, detWorkers, &lpCfg))
+		})
+	}
+}
+
+// TestParallelDeterminismStores exercises the contended checksum-store
+// designs (quadratic probing and cuckoo hashing, lock-free and
+// lock-based), whose collision statistics and probe sequences are the
+// most order-sensitive state in the runtime.
+func TestParallelDeterminismStores(t *testing.T) {
+	configs := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"quad-lockfree", core.Config{Store: hashtab.Quad, LockMode: hashtab.LockFree}},
+		{"quad-lockbased", core.Config{Store: hashtab.Quad, LockMode: hashtab.LockBased}},
+		{"quad-noatomic", core.Config{Store: hashtab.Quad, LockMode: hashtab.NoAtomic}},
+		{"cuckoo-lockfree", core.Config{Store: hashtab.Cuckoo, LockMode: hashtab.LockFree}},
+		{"chained-lockfree", core.Config{Store: hashtab.Chained, LockMode: hashtab.LockFree}},
+		{"sequential-reduce", func() core.Config {
+			c := core.DefaultConfig()
+			c.Reduction = core.ReduceSequential
+			return c
+		}()},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.label, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Seed = 0x1157c
+			compareRuns(t, "tmm/"+tc.label,
+				runWorkload(t, "tmm", 1, &cfg),
+				runWorkload(t, "tmm", detWorkers, &cfg))
+		})
+	}
+}
+
+// recoveryRun crashes a kernel mid-launch, recovers, and captures the
+// observable outcome.
+type recoveryRun struct {
+	report core.RecoveryReport
+	nvm    []byte
+}
+
+func runRecovery(t *testing.T, workers int) recoveryRun {
+	t.Helper()
+	mem := memsim.MustNew(memsim.DefaultConfig())
+	devCfg := gpusim.DefaultConfig()
+	devCfg.Workers = workers
+	dev := gpusim.NewDevice(devCfg, mem)
+	w := kernels.New("tmm", 1)
+	w.Setup(dev)
+	grid, blk := w.Geometry()
+	lp := core.New(dev, core.DefaultConfig(), grid, blk)
+	kernel := w.Kernel(lp)
+
+	dev.SetCrashTrigger(&gpusim.CrashTrigger{AfterBlocks: grid.Size() / 2})
+	res := dev.Launch("tmm", grid, blk, kernel)
+	if !res.Interrupted {
+		t.Fatalf("workers=%d: crash trigger did not fire", workers)
+	}
+	rep, err := lp.ValidateAndRecover(kernel, w.Recompute(), 3)
+	if err != nil {
+		t.Fatalf("workers=%d: recovery failed: %v", workers, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("workers=%d: post-recovery verify failed: %v", workers, err)
+	}
+	return recoveryRun{report: rep, nvm: mem.NVMImage()}
+}
+
+// TestParallelDeterminismRecovery asserts that a mid-launch crash, the
+// validation pass, and the selective re-execution produce identical
+// recovery reports and durable images under both engines.
+func TestParallelDeterminismRecovery(t *testing.T) {
+	serial := runRecovery(t, 1)
+	parallel := runRecovery(t, detWorkers)
+	if !reflect.DeepEqual(serial.report, parallel.report) {
+		t.Errorf("recovery report diverged\nserial:   %+v\nparallel: %+v", serial.report, parallel.report)
+	}
+	if !bytes.Equal(serial.nvm, parallel.nvm) {
+		t.Errorf("post-recovery NVM image diverged")
+	}
+}
+
+// TestParallelDeterminismFaultCampaign runs a small seeded fault-injection
+// campaign under both engines and compares the full structured reports.
+func TestParallelDeterminismFaultCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign smoke test skipped in -short mode")
+	}
+	run := func(workers int) *faultsim.Report {
+		c := faultsim.DefaultCampaign(2)
+		c.Kernels = []string{"tmm", "megakv-insert"}
+		c.Opt.Dev.Workers = workers
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: campaign failed: %v", workers, err)
+		}
+		return rep
+	}
+	serial := run(1)
+	parallel := run(detWorkers)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("campaign reports diverged\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -24,7 +24,7 @@ func main() {
 	// cache (small so the crash loses something interesting).
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = 64 << 10
-	mem := memsim.New(memCfg)
+	mem := memsim.MustNew(memCfg)
 	dev := gpusim.NewDevice(gpusim.DefaultConfig(), mem)
 
 	// Fig. 2 from the paper: floats are checksummed via their bit pattern.

@@ -100,7 +100,7 @@ func DefaultLPConfig() LPConfig { return core.DefaultConfig() }
 
 // NewSystem builds a simulated GPU over a fresh NVM-backed memory.
 func NewSystem(dev DeviceConfig, mem MemoryConfig) (*Device, *Memory) {
-	m := memsim.New(mem)
+	m := memsim.MustNew(mem)
 	return gpusim.NewDevice(dev, m), m
 }
 

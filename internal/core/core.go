@@ -120,11 +120,6 @@ type LP struct {
 
 	scratch      memsim.Region // staging for sequential reduction
 	scratchSlots int
-
-	// Reused per-block accumulators (blocks execute one at a time on the
-	// deterministic simulator).
-	modBuf []uint64
-	parBuf []uint64
 }
 
 // New creates an LP runtime for kernels launched with the given grid and
@@ -159,8 +154,6 @@ func New(dev *gpusim.Device, cfg Config, grid, blk gpusim.Dim3) *LP {
 			Seed:        cfg.Seed,
 			MergeCount:  fusion > 1,
 		}),
-		modBuf: make([]uint64, blk.Size()),
-		parBuf: make([]uint64, blk.Size()),
 	}
 	if cfg.Reduction == ReduceSequential {
 		lp.scratchSlots = grid.Size()

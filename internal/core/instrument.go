@@ -23,8 +23,10 @@ func (lp *LP) Instrument(kernel gpusim.KernelFunc, protected ...memsim.Region) g
 	}
 	return func(b *gpusim.Block) {
 		r := lp.Begin(b)
-		dev := b.Device()
-		prev := dev.SetStoreHook(func(t *gpusim.Thread, reg memsim.Region, elemIdx int, bits uint32) {
+		// The hook is installed per block (not on the device): with
+		// Config.Workers > 1 several blocks run concurrently, each folding
+		// stores into its own region.
+		prev := b.SetStoreHook(func(t *gpusim.Thread, reg memsim.Region, elemIdx int, bits uint32) {
 			for _, p := range protected {
 				if p.Base == reg.Base {
 					r.Update(t, bits)
@@ -32,7 +34,7 @@ func (lp *LP) Instrument(kernel gpusim.KernelFunc, protected ...memsim.Region) g
 				}
 			}
 		})
-		defer dev.SetStoreHook(prev)
+		defer b.SetStoreHook(prev)
 		kernel(b)
 		r.Commit()
 	}

@@ -33,9 +33,10 @@ func (lp *LP) Begin(b *gpusim.Block) *Region {
 	if b.GridDim != lp.grid || b.BlockDim != lp.blk {
 		panic("core: block geometry does not match the LP runtime's geometry")
 	}
-	clear(lp.modBuf)
-	clear(lp.parBuf)
-	return &Region{lp: lp, b: b, key: uint64(b.LinearIdx / lp.fusion), mod: lp.modBuf, par: lp.parBuf}
+	// Accumulators are allocated per region, not shared on the runtime:
+	// with Config.Workers > 1 several blocks fold checksums concurrently.
+	nt := lp.blk.Size()
+	return &Region{lp: lp, b: b, key: uint64(b.LinearIdx / lp.fusion), mod: make([]uint64, nt), par: make([]uint64, nt)}
 }
 
 // Update folds one stored 32-bit value into the calling thread's

@@ -85,7 +85,9 @@ func (e *EP) Wrap(kernel gpusim.KernelFunc, protected ...memsim.Region) gpusim.K
 		}
 		segBase := b.LinearIdx * e.perBlock
 		n := 0
-		prev := e.dev.SetStoreHook(func(t *gpusim.Thread, reg memsim.Region, elemIdx int, bits uint32) {
+		// Per-block hook: blocks may execute concurrently (Workers > 1),
+		// and each block logs into its own segment with its own counter.
+		prev := b.SetStoreHook(func(t *gpusim.Thread, reg memsim.Region, elemIdx int, bits uint32) {
 			tracked := false
 			for _, p := range protected {
 				if p.Base == reg.Base {
@@ -109,7 +111,7 @@ func (e *EP) Wrap(kernel gpusim.KernelFunc, protected ...memsim.Region) gpusim.K
 			n++
 		})
 		kernel(b)
-		e.dev.SetStoreHook(prev)
+		b.SetStoreHook(prev)
 
 		b.ForAll(func(t *gpusim.Thread) {
 			if t.Linear != 0 {

@@ -5,6 +5,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+
+	"gpulp/internal/parwork"
 )
 
 // denseFlipKernels lists the workloads whose output regions are dense
@@ -47,8 +50,16 @@ type Campaign struct {
 	// Minimize shrinks every failing case to its smallest reproducing
 	// parameters before reporting.
 	Minimize bool
-	// Progress, when non-nil, observes each completed case.
+	// Progress, when non-nil, observes each completed case. With
+	// Parallel > 1 cases complete out of order, so the observation
+	// order is nondeterministic; the Report is not.
 	Progress func(done, total int, r Result)
+	// Parallel is the number of host goroutines running cases
+	// concurrently. Every case owns a fresh simulated system and is
+	// seeded from its sweep position alone, and results are aggregated
+	// in sweep order — any value (including 1, the default) produces an
+	// identical Report.
+	Parallel int
 }
 
 // DefaultCampaign returns the standard regression campaign: with
@@ -139,54 +150,84 @@ func (c *Campaign) Run() (*Report, error) {
 		}
 	}
 
-	rep := &Report{Total: total}
-	cells := map[string]*KindSummary{}
-	done := 0
+	// Flatten the sweep into an ordered case list. Seeds derive from the
+	// (kernel, kind, seed) sweep position exactly as the serial loops
+	// did, so the case list — and therefore every derived number — is
+	// independent of how the cases are later scheduled.
+	type caseSpec struct {
+		kernel string
+		c      Case
+	}
+	var specs []caseSpec
 	for ki, name := range kernels {
 		for kj, kind := range kinds {
 			if !Applicable(name, kind) {
 				continue
 			}
-			key := name + "/" + kind.String()
-			cell := &KindSummary{Kernel: name, Kind: kind.String(), MaxTier: "selective"}
-			cells[key] = cell
-			var cycles int64
 			for s := 0; s < seeds; s++ {
 				seed := splitmix(c.BaseSeed ^ splitmix(uint64(ki)<<40|uint64(kj)<<20|uint64(s)))
-				res := RunCase(opt, Case{Kernel: name, Kind: kind, Seed: seed}, goldens[name])
-				done++
-				cell.Cases++
-				cycles += res.Cycles
-				switch res.Outcome {
-				case Recovered:
-					rep.Recovered++
-					cell.Recovered++
-				case TypedError:
-					rep.TypedErrors++
-					cell.TypedErrors++
-				case Mismatch:
-					rep.Mismatches++
-					cell.Mismatches++
-				case Panicked:
-					rep.Panics++
-					cell.Panics++
-				}
-				if tierRank(res.Tier.String()) > tierRank(cell.MaxTier) {
-					cell.MaxTier = res.Tier.String()
-				}
-				if res.Outcome.Failed() {
-					rep.Failures = append(rep.Failures, res)
-					if c.Minimize {
-						rep.Minimized = append(rep.Minimized, MinimizeCase(opt, res, goldens[name]))
-					}
-				}
-				if c.Progress != nil {
-					c.Progress(done, total, res)
-				}
+				specs = append(specs, caseSpec{kernel: name, c: Case{Kernel: name, Kind: kind, Seed: seed}})
 			}
-			if cell.Cases > 0 {
-				cell.MeanRecoveryCycles = cycles / int64(cell.Cases)
+		}
+	}
+
+	// Run the cases — concurrently when Parallel > 1; each owns a fresh
+	// simulated system and only reads its golden image. Progress fires
+	// as cases complete (completion order is scheduling-dependent).
+	results := make([]Result, len(specs))
+	var progressMu sync.Mutex
+	done := 0
+	parwork.Do(len(specs), c.Parallel, func(i int) {
+		res := RunCase(opt, specs[i].c, goldens[specs[i].kernel])
+		results[i] = res
+		if c.Progress != nil {
+			progressMu.Lock()
+			done++
+			c.Progress(done, total, res)
+			progressMu.Unlock()
+		}
+	})
+
+	// Aggregate in sweep order, reproducing the serial report exactly.
+	rep := &Report{Total: total}
+	cells := map[string]*KindSummary{}
+	cellCycles := map[string]int64{}
+	for i, res := range results {
+		key := specs[i].kernel + "/" + specs[i].c.Kind.String()
+		cell, ok := cells[key]
+		if !ok {
+			cell = &KindSummary{Kernel: specs[i].kernel, Kind: specs[i].c.Kind.String(), MaxTier: "selective"}
+			cells[key] = cell
+		}
+		cell.Cases++
+		cellCycles[key] += res.Cycles
+		switch res.Outcome {
+		case Recovered:
+			rep.Recovered++
+			cell.Recovered++
+		case TypedError:
+			rep.TypedErrors++
+			cell.TypedErrors++
+		case Mismatch:
+			rep.Mismatches++
+			cell.Mismatches++
+		case Panicked:
+			rep.Panics++
+			cell.Panics++
+		}
+		if tierRank(res.Tier.String()) > tierRank(cell.MaxTier) {
+			cell.MaxTier = res.Tier.String()
+		}
+		if res.Outcome.Failed() {
+			rep.Failures = append(rep.Failures, res)
+			if c.Minimize {
+				rep.Minimized = append(rep.Minimized, MinimizeCase(opt, res, goldens[specs[i].kernel]))
 			}
+		}
+	}
+	for key, cell := range cells {
+		if cell.Cases > 0 {
+			cell.MeanRecoveryCycles = cellCycles[key] / int64(cell.Cases)
 		}
 	}
 	keys := make([]string, 0, len(cells))

@@ -249,7 +249,7 @@ func GoldenRun(opt Options, kernel string) (g *Golden, err error) {
 			g, err = nil, fmt.Errorf("faultsim: golden run of %s failed: %v", kernel, r)
 		}
 	}()
-	mem := memsim.New(opt.Mem)
+	mem := memsim.MustNew(opt.Mem)
 	dev := gpusim.NewDevice(opt.Dev, mem)
 	w := kernels.New(kernel, opt.Scale)
 	w.Setup(dev)
@@ -304,7 +304,7 @@ func RunCase(opt Options, c Case, golden *Golden) (res Result) {
 	}()
 
 	rng := rand.New(rand.NewSource(int64(splitmix(c.Seed))))
-	mem := memsim.New(opt.Mem)
+	mem := memsim.MustNew(opt.Mem)
 	dev := gpusim.NewDevice(opt.Dev, mem)
 	w := kernels.New(c.Kernel, opt.Scale)
 	w.Setup(dev)

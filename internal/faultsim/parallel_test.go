@@ -1,0 +1,57 @@
+package faultsim
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCampaignParallelMatchesSerial runs the same seeded campaign with
+// Parallel=1 and Parallel=8 and requires identical structured reports:
+// case seeds derive from sweep position, every case owns a fresh
+// simulated system, and aggregation happens in sweep order, so the
+// scheduling of cases must never leak into a reported number.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	run := func(parallel int) *Report {
+		c := DefaultCampaign(2)
+		c.Kernels = []string{"tmm", "megakv-insert"}
+		c.Parallel = parallel
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatalf("campaign (parallel=%d): %v", parallel, err)
+		}
+		return rep
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("campaign reports diverged\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestCampaignParallelProgress checks the Progress contract at width > 1:
+// one observation per case, with done counting up to total — completion
+// order is allowed to vary, the counts are not.
+func TestCampaignParallelProgress(t *testing.T) {
+	c := DefaultCampaign(1)
+	c.Kernels = []string{"tmm"}
+	c.Parallel = 4
+	var calls, lastDone, total atomic.Int64
+	c.Progress = func(done, tot int, r Result) {
+		calls.Add(1)
+		lastDone.Store(int64(done))
+		total.Store(int64(tot))
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(calls.Load()); got != rep.Total {
+		t.Errorf("Progress called %d times, want %d", got, rep.Total)
+	}
+	if got := int(lastDone.Load()); got != rep.Total {
+		t.Errorf("final done=%d, want %d", got, rep.Total)
+	}
+	if got := int(total.Load()); got != rep.Total {
+		t.Errorf("Progress total=%d, want %d", got, rep.Total)
+	}
+}

@@ -68,6 +68,13 @@ type Config struct {
 	BlockDispatchCycles int64
 	// ClockGHz converts cycles to time for reporting.
 	ClockGHz float64
+	// Workers is the number of host worker goroutines executing thread
+	// blocks speculatively during the functional pass. Values <= 1 select
+	// the serial engine. Any value produces bit-identical results — the
+	// commit loop validates and replays speculative blocks in dispatch
+	// order (see spec.go) — so Workers trades host CPU for wall-clock
+	// speed without perturbing the simulation.
+	Workers int
 }
 
 // DefaultConfig returns a Volta-class device: 80 SMs, 32-lane warps, and an

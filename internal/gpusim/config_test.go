@@ -8,7 +8,7 @@ import (
 )
 
 func TestConfigValidationBranches(t *testing.T) {
-	mem := memsim.New(memsim.DefaultConfig())
+	mem := memsim.MustNew(memsim.DefaultConfig())
 	mutations := []func(*Config){
 		func(c *Config) { c.NumSMs = 0 },
 		func(c *Config) { c.WarpSize = 0 },

@@ -134,6 +134,11 @@ func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, select
 			order[i] = i
 		}
 	}
+	for _, lin := range order {
+		if lin < 0 || lin >= grid.Size() {
+			panic(fmt.Sprintf("gpusim: selected block %d out of grid %v", lin, grid))
+		}
+	}
 
 	res := LaunchResult{Name: name, Blocks: len(order), MaxConcurrency: len(slots)}
 	// Reset per-launch state: each launch starts at t=0.
@@ -145,11 +150,30 @@ func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, select
 	// Pass 1: functional execution in dispatch order, with a zero-queueing
 	// greedy schedule providing approximate absolute times (used only by
 	// RacyTouch race windows). Serialization events are recorded per block.
+	// With Workers > 1, blocks execute speculatively on a host pool and are
+	// committed in dispatch order, producing bit-identical recs.
+	var recs []blockRec
+	if d.cfg.Workers > 1 && len(order) > 1 {
+		recs = d.runBlocksParallel(grid, block, kernel, order, slots, &res)
+	} else {
+		recs = d.runBlocksSerial(grid, block, kernel, order, slots, &res)
+	}
+	res.Blocks = len(recs)
+
+	// Pass 2: fixed-point timing with queueing delays.
+	cycles, aStall, lStall := d.schedule(recs, len(slots))
+	res.Cycles = cycles
+	res.AtomicStallCycles += aStall
+	res.LockStallCycles = lStall
+	d.emitTrace(name, order, recs, cycles)
+	return res
+}
+
+// runBlocksSerial executes blocks one at a time in dispatch order — the
+// reference engine every parallel run must match bit-for-bit.
+func (d *Device) runBlocksSerial(grid, block Dim3, kernel KernelFunc, order []int, slots []int64, res *LaunchResult) []blockRec {
 	recs := make([]blockRec, 0, len(order))
 	for orderIdx, lin := range order {
-		if lin < 0 || lin >= grid.Size() {
-			panic(fmt.Sprintf("gpusim: selected block %d out of grid %v", lin, grid))
-		}
 		// Earliest-free slot.
 		slot := 0
 		for i := 1; i < len(slots); i++ {
@@ -191,13 +215,5 @@ func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, select
 			break
 		}
 	}
-	res.Blocks = len(recs)
-
-	// Pass 2: fixed-point timing with queueing delays.
-	cycles, aStall, lStall := d.schedule(recs, len(slots))
-	res.Cycles = cycles
-	res.AtomicStallCycles += aStall
-	res.LockStallCycles = lStall
-	d.emitTrace(name, order, recs, cycles)
-	return res
+	return recs
 }

@@ -11,7 +11,7 @@ func testDevice() *Device {
 	cfg := DefaultConfig()
 	cfg.NumSMs = 4
 	cfg.MaxBlocksPerSM = 2
-	mem := memsim.New(memsim.Config{
+	mem := memsim.MustNew(memsim.Config{
 		LineSize: 128, CacheBytes: 1 << 20, Ways: 8,
 		NVMReadNS: 160, NVMWriteNS: 480, NVMBandwidthGBs: 326.4,
 	})
@@ -35,7 +35,7 @@ func TestDim3(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	mem := memsim.New(memsim.DefaultConfig())
+	mem := memsim.MustNew(memsim.DefaultConfig())
 	bad := DefaultConfig()
 	bad.NumSMs = 0
 	defer func() {
@@ -431,7 +431,7 @@ func TestSchedulerOverlapsBlocks(t *testing.T) {
 	cfg.NumSMs = 4
 	cfg.MaxBlocksPerSM = 2
 	cfg.BlockDispatchCycles = 0
-	d := NewDevice(cfg, memsim.New(memsim.DefaultConfig()))
+	d := NewDevice(cfg, memsim.MustNew(memsim.DefaultConfig()))
 	kernel := func(b *Block) {
 		b.ForAll(func(th *Thread) { th.Op(1000) })
 	}
@@ -453,7 +453,7 @@ func TestOccupancyLimitedByThreads(t *testing.T) {
 	cfg.NumSMs = 1
 	cfg.MaxBlocksPerSM = 8
 	cfg.MaxThreadsPerSM = 2048
-	mem := memsim.New(memsim.DefaultConfig())
+	mem := memsim.MustNew(memsim.DefaultConfig())
 	d := NewDevice(cfg, mem)
 	res := d.Launch("big-blocks", D1(4), D1(1024), func(b *Block) {
 		b.ForAll(func(th *Thread) { th.Op(100) })

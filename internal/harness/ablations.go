@@ -9,6 +9,7 @@ import (
 	"gpulp/internal/hashtab"
 	"gpulp/internal/kernels"
 	"gpulp/internal/memsim"
+	"gpulp/internal/parwork"
 )
 
 // This file holds ablation experiments beyond the paper's published
@@ -53,34 +54,40 @@ func (r *Runner) Scaling() (*Table, error) {
 		naiveCfg(hashtab.Cuckoo),
 		lockCfg(hashtab.Quad),
 	}
-	for _, nBlocks := range blockCounts {
+	run := func(nBlocks int, cfg *core.Config) int64 {
+		mem := memsim.MustNew(r.Opt.Mem)
+		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		grid, blk := gpusim.D1(nBlocks), gpusim.D1(32)
+		out := dev.Alloc("out", nBlocks*32*4)
+		out.HostZero()
+		var lp *core.LP
+		if cfg != nil {
+			c := *cfg
+			c.Seed = r.Opt.Seed
+			lp = core.New(dev, c, grid, blk)
+		}
+		res := dev.Launch("scaling", grid, blk, scalingKernel(out, lp))
+		return res.Cycles
+	}
+	// Every (block count, config) run owns a fresh simulated system, so
+	// the whole grid of runs fans out; cycles land in indexed slots and
+	// rows assemble serially, keeping the table byte-identical at any
+	// Options.Parallel.
+	perRow := 1 + len(configs) // baseline + configs
+	cycles := make([]int64, len(blockCounts)*perRow)
+	parwork.Do(len(cycles), r.workers(), func(j int) {
+		nBlocks := blockCounts[j/perRow]
+		if c := j % perRow; c > 0 {
+			cycles[j] = run(nBlocks, &configs[c-1])
+		} else {
+			cycles[j] = run(nBlocks, nil)
+		}
+	})
+	for bi, nBlocks := range blockCounts {
 		row := []string{fmt.Sprint(nBlocks)}
-		// Baseline for this block count.
-		run := func(cfg *core.Config) (int64, error) {
-			mem := memsim.New(r.Opt.Mem)
-			dev := gpusim.NewDevice(r.Opt.Dev, mem)
-			grid, blk := gpusim.D1(nBlocks), gpusim.D1(32)
-			out := dev.Alloc("out", nBlocks*32*4)
-			out.HostZero()
-			var lp *core.LP
-			if cfg != nil {
-				c := *cfg
-				c.Seed = r.Opt.Seed
-				lp = core.New(dev, c, grid, blk)
-			}
-			res := dev.Launch("scaling", grid, blk, scalingKernel(out, lp))
-			return res.Cycles, nil
-		}
-		base, err := run(nil)
-		if err != nil {
-			return nil, err
-		}
-		for i := range configs {
-			cycles, err := run(&configs[i])
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(float64(cycles)/float64(base)-1))
+		base := cycles[bi*perRow]
+		for c := 1; c < perRow; c++ {
+			row = append(row, pct(float64(cycles[bi*perRow+c])/float64(base)-1))
 		}
 		t.AddRow(row...)
 	}
@@ -110,7 +117,7 @@ func (r *Runner) Fusion() (*Table, error) {
 		}
 
 		// Crash damage at small cache.
-		mem := memsim.New(memCfg)
+		mem := memsim.MustNew(memCfg)
 		dev := gpusim.NewDevice(r.Opt.Dev, mem)
 		w := kernels.New("tmm", r.Opt.Scale)
 		w.Setup(dev)
@@ -142,7 +149,7 @@ func (r *Runner) Checkpoint() (*Table, error) {
 		Columns: []string{"interval (blocks)", "checkpoints", "flushed lines", "failed blocks after crash", "validate+recover cycles"}}
 	memCfg := r.Opt.Mem // full-size cache: without checkpoints, everything is lost
 	for _, interval := range []int{0, 512, 256, 64} {
-		mem := memsim.New(memCfg)
+		mem := memsim.MustNew(memCfg)
 		dev := gpusim.NewDevice(r.Opt.Dev, mem)
 		w := kernels.New("tmm", r.Opt.Scale)
 		w.Setup(dev)
@@ -208,7 +215,7 @@ func (r *Runner) LoadFactor() (*Table, error) {
 	const capacity = 16384
 	for _, pct100 := range []int{30, 50, 70, 85, 95} {
 		nKeys := capacity * pct100 / 100
-		mem := memsim.New(r.Opt.Mem)
+		mem := memsim.MustNew(r.Opt.Mem)
 		dev := gpusim.NewDevice(r.Opt.Dev, mem)
 		st := hashtab.New(dev, "tbl", hashtab.Config{
 			Kind:        hashtab.Quad,
@@ -247,7 +254,7 @@ func (r *Runner) MTBFPlan() (*Table, error) {
 		Columns: []string{"MTBF (cycles)", "optimal interval (cycles)", "expected overhead", "availability"}}
 
 	// Measure flush and validation costs on the real system.
-	mem := memsim.New(r.Opt.Mem)
+	mem := memsim.MustNew(r.Opt.Mem)
 	dev := gpusim.NewDevice(r.Opt.Dev, mem)
 	w := kernels.New("tmm", r.Opt.Scale)
 	w.Setup(dev)
@@ -290,7 +297,7 @@ func (r *Runner) RecoveryCost() (*Table, error) {
 	for _, cacheKB := range []int{64, 256, 1024, 4096} {
 		memCfg := r.Opt.Mem
 		memCfg.CacheBytes = cacheKB << 10
-		mem := memsim.New(memCfg)
+		mem := memsim.MustNew(memCfg)
 		dev := gpusim.NewDevice(r.Opt.Dev, mem)
 		w := kernels.New("tmm", r.Opt.Scale)
 		w.Setup(dev)
@@ -349,7 +356,7 @@ func (r *Runner) CPULP() (*Table, error) {
 		}
 	}
 	run := func(workers int, cfg *core.Config) (int64, error) {
-		dev := gpusim.NewDevice(cpuLikeDevice(workers), memsim.New(r.Opt.Mem))
+		dev := gpusim.NewDevice(cpuLikeDevice(workers), memsim.MustNew(r.Opt.Mem))
 		grid, blk := gpusim.D1(nBlocks), gpusim.D1(32)
 		out := dev.Alloc("out", nBlocks*32*4*4)
 		out.HostZero()

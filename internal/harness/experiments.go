@@ -426,7 +426,7 @@ func (r *Runner) Recovery() (*Table, error) {
 	memCfg := r.Opt.Mem
 	memCfg.CacheBytes = 256 << 10
 	for _, name := range []string{"tmm", "spmv", "histo", "megakv-insert"} {
-		mem := memsim.New(memCfg)
+		mem := memsim.MustNew(memCfg)
 		dev := gpusim.NewDevice(r.Opt.Dev, mem)
 		w := kernels.New(name, r.Opt.Scale)
 		w.Setup(dev)

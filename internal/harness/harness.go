@@ -12,11 +12,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"gpulp/internal/core"
 	"gpulp/internal/gpusim"
 	"gpulp/internal/kernels"
 	"gpulp/internal/memsim"
+	"gpulp/internal/parwork"
 )
 
 // Options configures a harness run.
@@ -31,6 +33,13 @@ type Options struct {
 	Verify bool
 	// Seed perturbs the LP hash functions.
 	Seed uint64
+	// Parallel is the number of host goroutines used to fan out
+	// independent simulator runs — across experiments in RunAll and
+	// across the per-configuration runs inside an experiment. Every run
+	// owns a fresh simulated system and results are aggregated in a
+	// fixed order, so any value (including 1, the default) produces
+	// byte-identical tables.
+	Parallel int
 }
 
 // DefaultOptions returns the V100-like configuration used for the
@@ -167,7 +176,9 @@ func ByID(id string) (Experiment, bool) {
 
 // Runner executes experiments, caching baseline measurements across them.
 type Runner struct {
-	Opt      Options
+	Opt Options
+
+	mu       sync.Mutex // guards baseline; experiments may run concurrently
 	baseline map[string]measurement
 }
 
@@ -179,18 +190,32 @@ func NewRunner(opt Options) *Runner {
 	return &Runner{Opt: opt, baseline: map[string]measurement{}}
 }
 
-// RunAll executes every experiment in order, rendering with the given
-// renderer (Table.Render or Table.RenderMarkdown).
+// workers returns the configured fan-out width (>= 1).
+func (r *Runner) workers() int {
+	if r.Opt.Parallel > 1 {
+		return r.Opt.Parallel
+	}
+	return 1
+}
+
+// RunAll executes every experiment, rendering with the given renderer
+// (Table.Render or Table.RenderMarkdown). With Options.Parallel > 1 the
+// experiments run concurrently on a worker pool; tables are still
+// rendered in paper order and are byte-identical to a serial run.
 func (r *Runner) RunAll(w io.Writer, render func(*Table, io.Writer)) error {
 	if render == nil {
 		render = (*Table).Render
 	}
-	for _, e := range Experiments {
-		tbl, err := e.Run(r)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	tables := make([]*Table, len(Experiments))
+	errs := make([]error, len(Experiments))
+	parwork.Do(len(Experiments), r.workers(), func(i int) {
+		tables[i], errs[i] = Experiments[i].Run(r)
+	})
+	for i, e := range Experiments {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", e.ID, errs[i])
 		}
-		render(tbl, w)
+		render(tables[i], w)
 	}
 	return nil
 }
@@ -209,14 +234,19 @@ type measurement struct {
 }
 
 // measure runs the named workload once, with lpCfg (nil = baseline), and
-// returns the measurement. Baselines are cached per workload.
+// returns the measurement. Baselines are cached per workload; the
+// simulator is deterministic, so when two concurrent experiments race to
+// fill the same cache entry they store the same value.
 func (r *Runner) measure(name string, lpCfg *core.Config) (measurement, error) {
 	if lpCfg == nil {
-		if m, ok := r.baseline[name]; ok {
+		r.mu.Lock()
+		m, ok := r.baseline[name]
+		r.mu.Unlock()
+		if ok {
 			return m, nil
 		}
 	}
-	mem := memsim.New(r.Opt.Mem)
+	mem := memsim.MustNew(r.Opt.Mem)
 	dev := gpusim.NewDevice(r.Opt.Dev, mem)
 	w := kernels.New(name, r.Opt.Scale)
 	w.Setup(dev)
@@ -251,7 +281,9 @@ func (r *Runner) measure(name string, lpCfg *core.Config) (measurement, error) {
 		m.tableBytes = lp.TableBytes()
 	}
 	if lpCfg == nil {
+		r.mu.Lock()
 		r.baseline[name] = m
+		r.mu.Unlock()
 	}
 	return m, nil
 }

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gpulp/internal/parwork"
+)
+
+// TestScalingParallelMatchesSerial runs the scaling experiment — the
+// harness's fan-out showpiece, whose 20 (block count × config) runs all
+// execute concurrently under Options.Parallel — serially and at width 8,
+// and requires byte-identical tables.
+func TestScalingParallelMatchesSerial(t *testing.T) {
+	run := func(parallel int) *Table {
+		opt := DefaultOptions()
+		opt.Parallel = parallel
+		tbl, err := NewRunner(opt).Scaling()
+		if err != nil {
+			t.Fatalf("scaling (parallel=%d): %v", parallel, err)
+		}
+		return tbl
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("scaling table diverged\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestRunAllParallelBaselineCache exercises the shared baseline cache
+// under concurrent experiments, the way RunAll does: table3 and table4
+// measure the same workload baselines, so running them concurrently
+// races to fill the same cache entries. The tables must match a serial
+// runner's byte for byte.
+func TestRunAllParallelBaselineCache(t *testing.T) {
+	ids := []string{"table3", "table4"}
+	run := func(parallel int) []*Table {
+		opt := DefaultOptions()
+		opt.Parallel = parallel
+		r := NewRunner(opt)
+		tables := make([]*Table, len(ids))
+		errs := make([]error, len(ids))
+		parwork.Do(len(ids), parallel, func(i int) {
+			e, ok := ByID(ids[i])
+			if !ok {
+				errs[i] = fmt.Errorf("experiment %s not registered", ids[i])
+				return
+			}
+			tables[i], errs[i] = e.Run(r)
+		})
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s (parallel=%d): %v", ids[i], parallel, err)
+			}
+		}
+		return tables
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("tables diverged between serial and parallel runners")
+	}
+}

@@ -89,7 +89,8 @@ func (c *chainedStore) bucketOf(key uint64) int {
 // Insert implements Store: allocate a node from the pool, fill it, and
 // push it at the bucket head.
 func (c *chainedStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) {
-	c.stats.Inserts++
+	st := blockStats(t, &c.stats)
+	st.Inserts++
 	if c.mode == LockBased {
 		t.LockAcquire(c.lock)
 		defer t.LockRelease(c.lock)
@@ -104,7 +105,7 @@ func (c *chainedStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) 
 	t.StoreU64K(memsim.AccessChecksum, c.pool, base+2, sum.Par)
 	bucket := c.bucketOf(key)
 	t.Op(4)
-	c.stats.Probes++
+	st.Probes++
 
 	if c.mode == LockFree {
 		// CAS push: link to the current head, then swing the head.
@@ -113,18 +114,18 @@ func (c *chainedStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) 
 			t.StoreU64K(memsim.AccessChecksum, c.pool, base+3, head)
 			if t.AtomicCASU64(c.heads, bucket, head, node+1) == head {
 				if head != 0 {
-					c.stats.Collisions++
+					st.Collisions++
 				}
 				return
 			}
-			c.stats.Collisions++
+			st.Collisions++
 			t.Stall(retryStallCycles)
 		}
 	}
 	// Lock-based (or unsafely unsynchronized): plain head push.
 	head := t.LoadU64K(memsim.AccessChecksum, c.heads, bucket)
 	if head != 0 {
-		c.stats.Collisions++
+		st.Collisions++
 	}
 	t.StoreU64K(memsim.AccessChecksum, c.pool, base+3, head)
 	t.StoreU64K(memsim.AccessChecksum, c.heads, bucket, node+1)
@@ -132,7 +133,7 @@ func (c *chainedStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) 
 
 // Lookup implements Store: walk the chain, one dependent load per link.
 func (c *chainedStore) Lookup(t *gpusim.Thread, key uint64) (checksum.State, bool) {
-	c.stats.Lookups++
+	blockStats(t, &c.stats).Lookups++
 	bucket := c.bucketOf(key)
 	t.Op(4)
 	cur := t.LoadU64K(memsim.AccessChecksum, c.heads, bucket)

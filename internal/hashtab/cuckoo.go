@@ -77,7 +77,7 @@ func (c *cuckooStore) slotFor(key uint64, table int) int {
 
 // Insert implements Store.
 func (c *cuckooStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) {
-	c.stats.Inserts++
+	blockStats(t, &c.stats).Inserts++
 	if c.mode == LockBased {
 		t.LockAcquire(c.lock)
 		defer t.LockRelease(c.lock)
@@ -86,13 +86,14 @@ func (c *cuckooStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 }
 
 func (c *cuckooStore) insert(t *gpusim.Thread, key uint64, sum checksum.State) {
+	st := blockStats(t, &c.stats)
 	curKey, curSum := key+1, sum
 	table := 0
 	for kick := 0; kick < maxKicks; kick++ {
 		slot := c.slotFor(curKey-1, table)
 		tab := c.tabs[table]
 		t.Op(2)
-		c.stats.Probes++
+		st.Probes++
 
 		var oldKey uint64
 		switch c.mode {
@@ -116,8 +117,8 @@ func (c *cuckooStore) insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 				// Our exchange was clobbered: put the incumbent back and
 				// retry the same position.
 				t.StoreU64K(memsim.AccessChecksum, tab.region, tab.keyIdx(slot), oldKey)
-				c.stats.RaceRedos++
-				c.stats.Collisions++
+				st.RaceRedos++
+				st.Collisions++
 				continue
 			}
 		default:
@@ -126,14 +127,14 @@ func (c *cuckooStore) insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 
 		if oldKey == 0 || oldKey == curKey {
 			tab.storeChecksums(t, slot, curSum)
-			c.noteProbeDepth(int64(kick))
+			c.noteProbeDepth(st, int64(kick))
 			return
 		}
 		// Displaced an incumbent: read its payload before overwriting,
 		// write ours, and relocate the incumbent to the other table.
 		// Each hop of the eviction chain depends on the previous
 		// exchange's result, exposing a round trip per kick.
-		c.stats.Collisions++
+		st.Collisions++
 		t.Stall(retryStallCycles)
 		oldSum := tab.loadChecksums(t, slot)
 		tab.storeChecksums(t, slot, curSum)
@@ -149,6 +150,13 @@ func (c *cuckooStore) insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 // resident entry. All traffic is charged to the calling thread, as the
 // rehash runs on-device in the paper's design.
 func (c *cuckooStore) rehash(t *gpusim.Thread) {
+	if t.Block().Speculative() {
+		// A rehash replaces the hash functions — shared store state no
+		// speculative block may touch. Panic out of the speculative run;
+		// the worker converts it into a direct re-execution at the block's
+		// dispatch slot, where the rehash applies serially.
+		panic("hashtab: cuckoo rehash during speculative execution")
+	}
 	c.stats.Rehashes++
 	if c.stats.Rehashes > 64 {
 		panic(fmt.Sprintf("hashtab: cuckoo rehash storm (%d keys, cap %d per table)", c.nKeys, c.tabs[0].cap))
@@ -174,16 +182,16 @@ func (c *cuckooStore) rehash(t *gpusim.Thread) {
 	}
 }
 
-func (c *cuckooStore) noteProbeDepth(i int64) {
-	if i > c.stats.MaxProbe {
-		c.stats.MaxProbe = i
+func (c *cuckooStore) noteProbeDepth(st *Stats, i int64) {
+	if i > st.MaxProbe {
+		st.MaxProbe = i
 	}
 }
 
 // Lookup implements Store: at most one probe per table (the constant-time
 // lookup that makes cuckoo attractive, §IV-C).
 func (c *cuckooStore) Lookup(t *gpusim.Thread, key uint64) (checksum.State, bool) {
-	c.stats.Lookups++
+	blockStats(t, &c.stats).Lookups++
 	for table := 0; table < 2; table++ {
 		slot := c.slotFor(key, table)
 		tab := c.tabs[table]

@@ -49,7 +49,7 @@ func (q *quadStore) TableBytes() int64 { return int64(q.tab.cap) * slotBytes }
 
 // TableRegions implements Store.
 func (q *quadStore) TableRegions() []memsim.Region { return []memsim.Region{q.tab.region} }
-func (q *quadStore) Clear()            { q.tab.clear() }
+func (q *quadStore) Clear()                        { q.tab.clear() }
 
 func (q *quadStore) home(key uint64) int {
 	if q.perf {
@@ -66,7 +66,7 @@ func (q *quadStore) slotAt(home, i int) int {
 
 // Insert implements Store.
 func (q *quadStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) {
-	q.stats.Inserts++
+	blockStats(t, &q.stats).Inserts++
 	switch q.mode {
 	case LockBased:
 		t.LockAcquire(q.lock)
@@ -80,18 +80,19 @@ func (q *quadStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 }
 
 func (q *quadStore) insertCAS(t *gpusim.Thread, key uint64, sum checksum.State) {
+	st := blockStats(t, &q.stats)
 	home := q.home(key)
 	for i := 0; i <= q.tab.cap; i++ {
 		slot := q.slotAt(home, i)
 		t.Op(2) // probe index arithmetic
-		q.stats.Probes++
+		st.Probes++
 		old := t.AtomicCASU64(q.tab.region, q.tab.keyIdx(slot), 0, key+1)
 		if old == 0 || old == key+1 {
 			q.tab.storeChecksums(t, slot, sum)
-			q.noteProbeDepth(int64(i))
+			q.noteProbeDepth(st, int64(i))
 			return
 		}
-		q.stats.Collisions++
+		st.Collisions++
 		// The next probe's address depends on this CAS's result: a full
 		// round trip is exposed on the inserting thread.
 		t.Stall(retryStallCycles)
@@ -107,14 +108,15 @@ func (q *quadStore) insertCAS(t *gpusim.Thread, key uint64, sum checksum.State) 
 // pays an extra verification load (§IV-D.3 found this costs far more than
 // the atomics it saves).
 func (q *quadStore) insertPlain(t *gpusim.Thread, key uint64, sum checksum.State, racy bool) {
+	st := blockStats(t, &q.stats)
 	home := q.home(key)
 	for i := 0; i <= q.tab.cap; i++ {
 		slot := q.slotAt(home, i)
 		t.Op(2)
-		q.stats.Probes++
+		st.Probes++
 		old := t.LoadU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot))
 		if old != 0 && old != key+1 {
-			q.stats.Collisions++
+			st.Collisions++
 			continue
 		}
 		if racy {
@@ -134,30 +136,30 @@ func (q *quadStore) insertPlain(t *gpusim.Thread, key uint64, sum checksum.State
 				// Our claim was clobbered by a concurrent inserter:
 				// undo it and move to the next probe position.
 				t.StoreU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot), old)
-				q.stats.RaceRedos++
-				q.stats.Collisions++
+				st.RaceRedos++
+				st.Collisions++
 				continue
 			}
 		} else {
 			t.StoreU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot), key+1)
 		}
 		q.tab.storeChecksums(t, slot, sum)
-		q.noteProbeDepth(int64(i))
+		q.noteProbeDepth(st, int64(i))
 		return
 	}
 	panic(fmt.Sprintf("hashtab: quad table full inserting key %d (cap %d)", key, q.tab.cap))
 }
 
-func (q *quadStore) noteProbeDepth(i int64) {
-	if i > q.stats.MaxProbe {
-		q.stats.MaxProbe = i
+func (q *quadStore) noteProbeDepth(st *Stats, i int64) {
+	if i > st.MaxProbe {
+		st.MaxProbe = i
 	}
 }
 
 // Lookup implements Store. Lookups are off the critical path (crash
 // recovery only).
 func (q *quadStore) Lookup(t *gpusim.Thread, key uint64) (checksum.State, bool) {
-	q.stats.Lookups++
+	blockStats(t, &q.stats).Lookups++
 	home := q.home(key)
 	for i := 0; i <= q.tab.cap; i++ {
 		slot := q.slotAt(home, i)

@@ -4,7 +4,7 @@ import "testing"
 
 // BenchmarkCachedLoad measures the hot path: a load that hits in cache.
 func BenchmarkCachedLoad(b *testing.B) {
-	m := New(DefaultConfig())
+	m := MustNew(DefaultConfig())
 	r := m.Alloc("data", 4096)
 	r.StoreU32(AccessData, 0, 42)
 	b.ResetTimer()
@@ -18,7 +18,7 @@ func BenchmarkCachedLoad(b *testing.B) {
 func BenchmarkStreamingStores(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.CacheBytes = 64 << 10
-	m := New(cfg)
+	m := MustNew(cfg)
 	elems := 1 << 18 // 1 MiB of u32, 16x the cache
 	r := m.Alloc("data", elems*4)
 	b.ResetTimer()
@@ -33,7 +33,7 @@ func BenchmarkFlushAll(b *testing.B) {
 	cfg.CacheBytes = 256 << 10
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		m := New(cfg)
+		m := MustNew(cfg)
 		r := m.Alloc("data", 256<<10)
 		for e := 0; e < (256<<10)/4; e += 32 {
 			r.StoreU32(AccessData, e, uint32(e))

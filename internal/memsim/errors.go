@@ -1,0 +1,45 @@
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConfig is the sentinel all configuration errors wrap, so callers can
+// test errors.Is(err, memsim.ErrConfig) without matching field details.
+var ErrConfig = errors.New("memsim: invalid configuration")
+
+// ConfigError reports one invalid Config field.
+type ConfigError struct {
+	// Field is the Config field name; Reason describes the constraint it
+	// violated.
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("memsim: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap ties every ConfigError to the ErrConfig sentinel.
+func (e *ConfigError) Unwrap() error { return ErrConfig }
+
+// Validate checks the configuration, returning a *ConfigError (wrapping
+// ErrConfig) for the first violated constraint.
+func (c Config) Validate() error {
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return &ConfigError{Field: "LineSize",
+			Reason: fmt.Sprintf("must be a positive power of two, got %d", c.LineSize)}
+	}
+	if c.Ways <= 0 {
+		return &ConfigError{Field: "Ways",
+			Reason: fmt.Sprintf("must be positive, got %d", c.Ways)}
+	}
+	if c.CacheBytes/c.LineSize/c.Ways <= 0 {
+		return &ConfigError{Field: "CacheBytes",
+			Reason: fmt.Sprintf("cache of %d bytes too small for %d-byte lines at %d ways",
+				c.CacheBytes, c.LineSize, c.Ways)}
+	}
+	return nil
+}

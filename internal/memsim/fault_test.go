@@ -10,7 +10,7 @@ import (
 // cache (dirty, nothing persisted yet) and returns the region.
 func dirtySystem(t *testing.T) (*Memory, Region) {
 	t.Helper()
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 512)
 	for i := 0; i < 128; i++ {
 		r.StoreU32(AccessData, i, uint32(i)*2654435761+1)
@@ -76,7 +76,7 @@ func TestPartialCrashFullEviction(t *testing.T) {
 // aligned prefix of the cached line over the old durable contents.
 func TestTornWriteBackPersistsPrefix(t *testing.T) {
 	cfg := tinyConfig()
-	m := New(cfg)
+	m := MustNew(cfg)
 	r := m.Alloc("data", cfg.LineSize) // exactly one line
 	for i := 0; i < cfg.LineSize/4; i++ {
 		r.StoreU32(AccessData, i, 0xA5A5A5A5)
@@ -101,7 +101,7 @@ func TestTornWriteBackPersistsPrefix(t *testing.T) {
 }
 
 func TestInjectBitFlipsRange(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 256)
 	m.FlushAll()
 	before := m.PeekNVM(r.Base, r.Size)

@@ -11,10 +11,15 @@
 // to have been written back — which is the failure model Lazy Persistency
 // is designed to detect and recover from.
 //
-// The package is deliberately not goroutine-safe: the GPU simulator that
-// drives it is a deterministic discrete-event engine running on a single
-// goroutine, and determinism is a feature (experiments are reproducible
-// bit-for-bit). Use one Memory per simulated device.
+// All mutating entry points remain single-goroutine: the GPU simulator
+// that drives them is a deterministic discrete-event engine whose commit
+// loop owns the hierarchy, and determinism is a feature (experiments are
+// reproducible bit-for-bit). For host-parallel execution the package adds
+// one concurrency-safe read path: BeginSnapshot freezes the coherent view
+// behind address-striped copy-on-write locks, letting worker goroutines
+// read a stable image (Snapshot.ReadU32/ReadU64) while the owning
+// goroutine keeps mutating the live hierarchy. Use one Memory per
+// simulated device.
 package memsim
 
 import (
@@ -163,28 +168,33 @@ type Memory struct {
 	next    uint64 // allocation cursor
 	regions []Region
 	stats   Stats
+	snap    *Snapshot // active copy-on-write snapshot, nil when inactive
 }
 
-// New creates a Memory with the given configuration.
-func New(cfg Config) *Memory {
-	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
-		panic(fmt.Sprintf("memsim: LineSize must be a positive power of two, got %d", cfg.LineSize))
-	}
-	if cfg.Ways <= 0 {
-		panic("memsim: Ways must be positive")
-	}
-	numSets := cfg.CacheBytes / cfg.LineSize / cfg.Ways
-	if numSets <= 0 {
-		panic("memsim: cache too small for line size and ways")
+// New creates a Memory with the given configuration. A bad configuration
+// returns a *ConfigError wrapping ErrConfig.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	m := &Memory{
 		cfg:     cfg,
-		numSets: numSets,
-		sets:    make([]cacheSet, numSets),
+		numSets: cfg.CacheBytes / cfg.LineSize / cfg.Ways,
 		next:    uint64(cfg.LineSize), // keep address 0 unused
 	}
+	m.sets = make([]cacheSet, m.numSets)
 	for i := range m.sets {
 		m.sets[i].ways = make([]line, cfg.Ways)
+	}
+	return m, nil
+}
+
+// MustNew is New for configurations known to be valid (tests, defaults);
+// it panics on a configuration error.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
@@ -306,7 +316,7 @@ func (m *Memory) ensureNVM(lineAddr uint64) {
 
 func (m *Memory) writeBack(l *line) {
 	m.ensureNVM(l.tag)
-	copy(m.nvm[l.tag:l.tag+uint64(m.cfg.LineSize)], l.data)
+	m.mutateNVMLine(l.tag, l.data)
 	m.stats.NVMLineWrites++
 	if m.stats.NVMWritesByRegion == nil {
 		m.stats.NVMWritesByRegion = make(map[string]int64)
@@ -442,6 +452,50 @@ func (m *Memory) PeekCoherent(addr uint64, size int) []byte {
 	return out
 }
 
+// PeekCoherentU32 reads the current logical 32-bit value at addr without
+// touching statistics, cache state, or the heap. addr must be 4-aligned.
+// It is the primitive behind speculative-trace validation in gpusim, where
+// a per-word PeekCoherent allocation would dominate the commit path.
+func (m *Memory) PeekCoherentU32(addr uint64) uint32 {
+	lineAddr := addr &^ uint64(m.cfg.LineSize-1)
+	set := &m.sets[m.setIndex(lineAddr)]
+	for i := range set.ways {
+		l := &set.ways[i]
+		if l.valid && l.tag == lineAddr {
+			return binary.LittleEndian.Uint32(l.data[addr-lineAddr:])
+		}
+	}
+	if int(addr)+4 > len(m.nvm) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(m.nvm[addr:])
+}
+
+// PeekCoherentU64 is PeekCoherentU32 for an 8-aligned 64-bit word.
+func (m *Memory) PeekCoherentU64(addr uint64) uint64 {
+	lineAddr := addr &^ uint64(m.cfg.LineSize-1)
+	set := &m.sets[m.setIndex(lineAddr)]
+	for i := range set.ways {
+		l := &set.ways[i]
+		if l.valid && l.tag == lineAddr {
+			return binary.LittleEndian.Uint64(l.data[addr-lineAddr:])
+		}
+	}
+	if int(addr)+8 > len(m.nvm) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(m.nvm[addr:])
+}
+
+// NVMImage returns a copy of the full durable image — what a post-crash
+// reader would see across every allocation. Determinism tests compare
+// these images bit-for-bit across engine configurations.
+func (m *Memory) NVMImage() []byte {
+	out := make([]byte, len(m.nvm))
+	copy(out, m.nvm)
+	return out
+}
+
 // PeekNVM reads the durable (persisted) value of [addr, addr+size),
 // ignoring any cached copy. This is what a post-crash reader would see.
 func (m *Memory) PeekNVM(addr uint64, size int) []byte {
@@ -463,7 +517,7 @@ func (m *Memory) HostWrite(addr uint64, buf []byte) {
 	if end > len(m.nvm) {
 		m.ensureNVM(uint64(end-1) &^ uint64(m.cfg.LineSize-1))
 	}
-	copy(m.nvm[addr:], buf)
+	m.mutateNVM(addr, buf)
 	ls := uint64(m.cfg.LineSize)
 	first := addr &^ (ls - 1)
 	last := (addr + uint64(len(buf)) - 1) &^ (ls - 1)

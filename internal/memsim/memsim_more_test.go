@@ -5,7 +5,7 @@ import "testing"
 func TestLRUEvictsOldest(t *testing.T) {
 	// 2 sets x 8 ways of 64B lines. Fill one set's 8 ways, touch the
 	// first 7 again, then bring in a 9th line: way 8 (the LRU) must go.
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64*64)
 	line := func(i int) int { return i * 2 * 16 } // every other line -> set 0
 
@@ -30,7 +30,7 @@ func TestLRUEvictsOldest(t *testing.T) {
 
 func TestSetMappingIsolatesSets(t *testing.T) {
 	// Lines mapping to set 1 must not evict set 0's contents.
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64*64)
 	r.StoreU32(AccessData, 0, 42) // set 0
 	for i := 0; i < 16; i++ {
@@ -42,7 +42,7 @@ func TestSetMappingIsolatesSets(t *testing.T) {
 }
 
 func TestHostPutU64(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64)
 	r.StoreU64(AccessData, 1, 111) // cached dirty
 	r.HostPutU64(1, 222)
@@ -55,7 +55,7 @@ func TestHostPutU64(t *testing.T) {
 }
 
 func TestHostFillU64(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64)
 	r.HostFillU64(^uint64(0))
 	for i := 0; i < 8; i++ {
@@ -77,7 +77,7 @@ func TestHostFillU64(t *testing.T) {
 func TestPeekCoherentSpansLines(t *testing.T) {
 	// A coherent peek across a cached line and an uncached line must
 	// stitch the correct view.
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 256)
 	r.HostWriteI32s(make([]int32, 64)) // durable zeros
 	r.StoreU32(AccessData, 0, 0xAAAA)  // line 0 cached dirty
@@ -92,7 +92,7 @@ func TestPeekCoherentSpansLines(t *testing.T) {
 }
 
 func TestRegionContains(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64)
 	if !r.Contains(r.Base) || !r.Contains(r.End()-1) {
 		t.Error("Contains excludes its own range")
@@ -103,7 +103,7 @@ func TestRegionContains(t *testing.T) {
 }
 
 func TestDirtyLinesCounts(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64*4)
 	if m.DirtyLines() != 0 {
 		t.Fatal("fresh cache has dirty lines")

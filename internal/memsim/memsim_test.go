@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -19,28 +20,46 @@ func tinyConfig() Config {
 
 func TestNewValidation(t *testing.T) {
 	cases := []struct {
-		name string
-		cfg  Config
+		name  string
+		cfg   Config
+		field string
 	}{
-		{"zero line", Config{LineSize: 0, CacheBytes: 1024, Ways: 2}},
-		{"non pow2 line", Config{LineSize: 96, CacheBytes: 1024, Ways: 2}},
-		{"zero ways", Config{LineSize: 64, CacheBytes: 1024, Ways: 0}},
-		{"cache too small", Config{LineSize: 64, CacheBytes: 64, Ways: 2}},
+		{"zero line", Config{LineSize: 0, CacheBytes: 1024, Ways: 2}, "LineSize"},
+		{"non pow2 line", Config{LineSize: 96, CacheBytes: 1024, Ways: 2}, "LineSize"},
+		{"zero ways", Config{LineSize: 64, CacheBytes: 1024, Ways: 0}, "Ways"},
+		{"cache too small", Config{LineSize: 64, CacheBytes: 64, Ways: 2}, "CacheBytes"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("New(%+v) did not panic", tc.cfg)
-				}
-			}()
-			New(tc.cfg)
+			m, err := New(tc.cfg)
+			if err == nil {
+				t.Fatalf("New(%+v) = %v, want error", tc.cfg, m)
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Errorf("New(%+v) error %v does not wrap ErrConfig", tc.cfg, err)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("New(%+v) error %v is not a *ConfigError", tc.cfg, err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("New(%+v) blamed field %q, want %q", tc.cfg, ce.Field, tc.field)
+			}
 		})
 	}
 }
 
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on a bad config did not panic")
+		}
+	}()
+	MustNew(Config{LineSize: 0, CacheBytes: 1024, Ways: 2})
+}
+
 func TestAllocAlignment(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	a := m.Alloc("a", 10)
 	b := m.Alloc("b", 100)
 	if a.Base%64 != 0 || b.Base%64 != 0 {
@@ -55,7 +74,7 @@ func TestAllocAlignment(t *testing.T) {
 }
 
 func TestAllocInvalidSize(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Alloc with size 0 did not panic")
@@ -65,7 +84,7 @@ func TestAllocInvalidSize(t *testing.T) {
 }
 
 func TestLoadStoreRoundTrip(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 1024)
 
 	r.StoreF32(AccessData, 3, 3.5)
@@ -83,7 +102,7 @@ func TestLoadStoreRoundTrip(t *testing.T) {
 }
 
 func TestHitMissAccounting(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 1024)
 
 	_, res := r.LoadF32(AccessData, 0)
@@ -106,7 +125,7 @@ func TestHitMissAccounting(t *testing.T) {
 
 func TestWriteBackOnEviction(t *testing.T) {
 	cfg := tinyConfig() // 16 lines total, 2 sets x 8 ways
-	m := New(cfg)
+	m := MustNew(cfg)
 	r := m.Alloc("data", 64*64) // 64 lines
 
 	// Dirty line 0 (set 0), then touch enough other set-0 lines to evict it.
@@ -132,7 +151,7 @@ func TestWriteBackOnEviction(t *testing.T) {
 }
 
 func TestCrashLosesDirtyData(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 1024)
 	r.HostWriteF32s(make([]float32, 256)) // durable zeros
 
@@ -150,7 +169,7 @@ func TestCrashLosesDirtyData(t *testing.T) {
 }
 
 func TestFlushAllPersists(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 1024)
 
 	r.StoreF32(AccessData, 5, 99)
@@ -168,7 +187,7 @@ func TestFlushAllPersists(t *testing.T) {
 }
 
 func TestHostWriteInvalidatesCache(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 1024)
 
 	r.StoreF32(AccessData, 0, 1) // cached dirty
@@ -182,7 +201,7 @@ func TestHostWriteInvalidatesCache(t *testing.T) {
 }
 
 func TestPeekViewsDiffer(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 1024)
 	r.HostZero()
 
@@ -196,7 +215,7 @@ func TestPeekViewsDiffer(t *testing.T) {
 }
 
 func TestRegionBounds(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 16)
 	defer func() {
 		if recover() == nil {
@@ -207,7 +226,7 @@ func TestRegionBounds(t *testing.T) {
 }
 
 func TestCrossLineAccessPanics(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("line-crossing access did not panic")
@@ -217,7 +236,7 @@ func TestCrossLineAccessPanics(t *testing.T) {
 }
 
 func TestRegionAttributionMultipleRegions(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	a := m.Alloc("alpha", 64)
 	b := m.Alloc("beta", 64)
 	a.StoreU32(AccessData, 0, 1)
@@ -230,7 +249,7 @@ func TestRegionAttributionMultipleRegions(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64)
 	r.StoreU32(AccessData, 0, 1)
 	m.ResetStats()
@@ -259,7 +278,7 @@ func TestAccessKindString(t *testing.T) {
 func TestPropertyCoherentMatchesShadow(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		m := New(tinyConfig())
+		m := MustNew(tinyConfig())
 		const elems = 512
 		r := m.Alloc("data", elems*4)
 		r.HostZero()
@@ -301,7 +320,7 @@ func TestPropertyCoherentMatchesShadow(t *testing.T) {
 func TestPropertyCrashSubset(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		m := New(tinyConfig())
+		m := MustNew(tinyConfig())
 		const elems = 256
 		r := m.Alloc("data", elems*4)
 		r.HostZero()
@@ -333,7 +352,7 @@ func TestPropertyCrashSubset(t *testing.T) {
 }
 
 func TestStatsNVMBytes(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64)
 	r.StoreU32(AccessData, 0, 1)
 	m.FlushAll()
@@ -347,7 +366,7 @@ func TestStatsNVMBytes(t *testing.T) {
 }
 
 func TestPeekSlices(t *testing.T) {
-	m := New(tinyConfig())
+	m := MustNew(tinyConfig())
 	r := m.Alloc("data", 64)
 	r.HostWriteI32s([]int32{1, -2, 3})
 	got := r.PeekI32s(3)

@@ -1,0 +1,48 @@
+// Package parwork is the minimal indexed worker pool shared by the
+// harness and the fault-injection campaign engine. Both fan independent
+// jobs (experiment runs, campaign cases) across host goroutines and then
+// aggregate results serially in job order, so parallel execution changes
+// wall-clock time but never any reported number.
+package parwork
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(i) for every i in [0, n), on min(workers, n) goroutines.
+// Jobs are claimed in index order; with workers <= 1 the loop runs
+// inline, in order, on the calling goroutine. fn must write its result
+// into a caller-owned slot indexed by i — Do itself returns only after
+// every job has finished, so the caller can aggregate the slots in
+// deterministic job order afterwards.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,37 @@
+package parwork
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		Do(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoSerialRunsInOrder(t *testing.T) {
+	var order []int
+	Do(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	Do(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+	Do(-1, 4, func(i int) { t.Fatal("fn called for n<0") })
+}
