@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-parallel matrix smoke campaign bench ci
+.PHONY: all vet build test tier1 race race-parallel matrix smoke campaign persistcheck-smoke persistcheck-soak bench ci
 
 all: ci
 
@@ -12,6 +12,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+# tier1: the baseline gate every change must keep green.
+tier1: vet build test
 
 race:
 	$(GO) test -race ./...
@@ -41,10 +44,20 @@ smoke:
 campaign:
 	$(GO) run ./cmd/lpfault -seeds 12
 
+# persistcheck-smoke: the crash-consistency model checker at a fixed seed
+# and small budget (the kernel × backend coverage sweep always runs in
+# full). Exits non-zero on any persistency contract violation.
+persistcheck-smoke:
+	$(GO) run ./cmd/lpcheck -seed 1 -n 80 -quiet
+
+# persistcheck-soak: a longer seeded fuzzing run for scheduled CI.
+persistcheck-soak:
+	$(GO) run ./cmd/lpcheck -seed 1 -n 100000 -duration 10m
+
 # bench: regenerate every artifact benchmark, then record the
 # serial-vs-parallel wall-clock comparison to BENCH_parallel.json.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	BENCH_JSON=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -v .
 
-ci: vet build race race-parallel matrix smoke
+ci: vet build race race-parallel matrix smoke persistcheck-smoke

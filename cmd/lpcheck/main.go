@@ -1,0 +1,169 @@
+// lpcheck is the crash-consistency model checker driver: it fuzzes the
+// simulated persistency stack with seeded random scenarios and checks
+// every run against an independent oracle of what must be durable.
+//
+// Usage:
+//
+//	lpcheck -seed 1 -n 500               # fixed-budget seeded run
+//	lpcheck -duration 10m                # time-boxed soak
+//	lpcheck -corpus internal/persistcheck/testdata/corpus
+//	GPULP_PLANT_BUG=drop-writeback:1 lpcheck -n 50   # self-test: must fail
+//
+// Exit status is nonzero when any scenario violates the persistency
+// contract; each failure is printed with its shrunk JSON reproducer,
+// ready to be checked into the corpus.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpulp/internal/kernels"
+	"gpulp/internal/persistcheck"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "generator seed (same seed => same scenarios and fingerprint)")
+		n        = flag.Int("n", 200, "scenario budget (the kernel×backend coverage sweep always runs in full)")
+		duration = flag.Duration("duration", 0, "optional wall-clock budget; stops random generation when elapsed")
+		kernelsF = flag.String("kernels", "", "comma-separated workload subset (default: full Table I suite)")
+		corpus   = flag.String("corpus", "", "replay every reproducer in this directory instead of fuzzing")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	c := persistcheck.NewChecker()
+
+	if *corpus != "" {
+		os.Exit(replayCorpus(c, *corpus))
+	}
+
+	cfg := persistcheck.Config{Seed: *seed, N: *n, Duration: *duration}
+	if *kernelsF != "" {
+		cfg.Kernels = strings.Split(*kernelsF, ",")
+		for _, k := range cfg.Kernels {
+			if !knownKernel(k) {
+				fmt.Fprintf(os.Stderr, "lpcheck: unknown kernel %q (known: %s)\n",
+					k, strings.Join(kernels.Names, ", "))
+				os.Exit(2)
+			}
+		}
+	}
+	if spec := os.Getenv("GPULP_PLANT_BUG"); spec != "" {
+		drop, err := parsePlantBug(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpcheck: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.PlantDrop = drop
+		fmt.Fprintf(os.Stderr, "lpcheck: planted bug armed: dropping write-back %d in every raw-memory scenario\n", drop)
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "lpcheck: "+format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	rep := c.Run(cfg)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lpcheck: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		printReport(rep, elapsed)
+	}
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}
+
+func printReport(rep *persistcheck.Report, elapsed time.Duration) {
+	fmt.Printf("lpcheck: %d scenarios in %v (%d memops, %d kernel, %d diff), fingerprint %#x\n",
+		rep.Scenarios, elapsed, rep.MemOps, rep.Kernel, rep.Diff, rep.Fingerprint)
+	pairs := make([]string, 0, len(rep.Coverage))
+	for k := range rep.Coverage {
+		pairs = append(pairs, k)
+	}
+	sort.Strings(pairs)
+	fmt.Printf("coverage: %d kernel/backend pairs\n", len(pairs))
+	for _, k := range pairs {
+		fmt.Printf("  %-28s %d\n", k, rep.Coverage[k])
+	}
+	if rep.Ok() {
+		fmt.Println("PASS: no persistency contract violations")
+		return
+	}
+	fmt.Printf("FAIL: %d violation(s)\n", len(rep.Failures))
+	for i, f := range rep.Failures {
+		fmt.Printf("--- failure %d: %s\n    %s\n", i+1, f.Scenario, f.Err)
+		if data, err := json.MarshalIndent(f.Repro, "    ", "  "); err == nil {
+			fmt.Printf("    shrunk reproducer:\n    %s\n", data)
+		}
+	}
+}
+
+func replayCorpus(c *persistcheck.Checker, dir string) int {
+	names, repros, err := persistcheck.LoadCorpus(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpcheck: %v\n", err)
+		return 2
+	}
+	if len(repros) == 0 {
+		fmt.Fprintf(os.Stderr, "lpcheck: no reproducers in %s\n", dir)
+		return 2
+	}
+	failed := 0
+	for i, r := range repros {
+		if err := c.RunRepro(r); err != nil {
+			failed++
+			fmt.Printf("FAIL %s: %v\n", names[i], err)
+		} else {
+			fmt.Printf("ok   %s\n", names[i])
+		}
+	}
+	fmt.Printf("lpcheck: corpus replay: %d/%d pass\n", len(repros)-failed, len(repros))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func knownKernel(name string) bool {
+	for _, n := range kernels.Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parsePlantBug parses GPULP_PLANT_BUG ("drop-writeback" or
+// "drop-writeback:N", N 1-based).
+func parsePlantBug(spec string) (int, error) {
+	kind, arg, hasArg := strings.Cut(spec, ":")
+	if kind != "drop-writeback" {
+		return 0, fmt.Errorf("unknown GPULP_PLANT_BUG %q (supported: drop-writeback[:N])", spec)
+	}
+	if !hasArg {
+		return 1, nil
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad GPULP_PLANT_BUG count %q: want a positive integer", arg)
+	}
+	return n, nil
+}

@@ -1,0 +1,72 @@
+package checksum
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func u32sOf(data []byte) []uint32 {
+	out := make([]uint32, len(data)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(data[i*4:])
+	}
+	return out
+}
+
+// FuzzDualDetectsSingleCorruption checks the detection guarantee LP
+// recovery rests on: flipping any single bit of any protected value
+// always changes the dual checksum (the parity component alone
+// guarantees it), so a region persisted with one corrupted value can
+// never validate as intact.
+func FuzzDualDetectsSingleCorruption(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(1), uint8(31))
+	f.Add(make([]byte, 64), uint16(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, idx uint16, bit uint8) {
+		vals := u32sOf(data)
+		if len(vals) == 0 {
+			return
+		}
+		clean := OfU32s(vals)
+		if !clean.Matches(clean, Dual) {
+			t.Fatal("checksum does not match itself")
+		}
+		i := int(idx) % len(vals)
+		corrupt := append([]uint32(nil), vals...)
+		corrupt[i] ^= 1 << (bit % 32)
+		dirty := OfU32s(corrupt)
+		if dirty.Matches(clean, Dual) {
+			t.Fatalf("single-bit corruption of value %d bit %d undetected: clean=%+v dirty=%+v",
+				i, bit%32, clean, dirty)
+		}
+		if dirty.Matches(clean, Parity) {
+			t.Fatalf("parity alone missed a single-bit flip: clean=%+v dirty=%+v", clean, dirty)
+		}
+	})
+}
+
+// FuzzStateMergeOrderInvariant checks the property that makes GPU-side
+// reduction legal at all (§II-A): any split of the value stream into
+// per-thread partials, merged in any order, equals the serial checksum.
+func FuzzStateMergeOrderInvariant(f *testing.F) {
+	f.Add([]byte{0xff, 0, 0, 0, 1, 2, 3, 4, 9, 9, 9, 9}, uint16(1))
+	f.Add(make([]byte, 32), uint16(3))
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		vals := u32sOf(data)
+		serial := OfU32s(vals)
+		if len(vals) == 0 {
+			if serial != (State{}) {
+				t.Fatal("zero State is not the identity")
+			}
+			return
+		}
+		k := int(cut) % len(vals)
+		lo, hi := OfU32s(vals[:k]), OfU32s(vals[k:])
+		ab := lo
+		ab.Merge(hi)
+		ba := hi
+		ba.Merge(lo)
+		if ab != serial || ba != serial {
+			t.Fatalf("merge not order-invariant: serial=%+v lo+hi=%+v hi+lo=%+v", serial, ab, ba)
+		}
+	})
+}

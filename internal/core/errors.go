@@ -18,3 +18,10 @@ var (
 	// configured region fusion, or its contents are uninterpretable.
 	ErrStoreCorrupt = errors.New("checksum store corrupt or unusable")
 )
+
+// IsTypedRecoveryError reports whether err is (or wraps) one of the
+// typed recovery errors — the honest "damage beyond repair" outcomes a
+// fault campaign accepts, as opposed to a programming error.
+func IsTypedRecoveryError(err error) bool {
+	return errors.Is(err, ErrUnrecoverable) || errors.Is(err, ErrStoreCorrupt)
+}

@@ -30,6 +30,24 @@ func (lp *LP) merger() (hashtab.Merger, error) {
 	return m, nil
 }
 
+// RecomputeStates launches the recompute half of the check kernel alone:
+// a grid of the original geometry in which every block rebuilds its
+// checksum contributions from the durable data, returned per linear
+// block index. Validate builds on it; the crash-consistency checker
+// (internal/persistcheck) uses it directly to predict, from its oracle
+// image, exactly which regions validation must reject. Loads of durable
+// data never dirty the hierarchy's write-back state the checker is
+// auditing.
+func (lp *LP) RecomputeStates(recompute RecomputeFunc) ([]checksum.State, gpusim.LaunchResult) {
+	perBlock := make([]checksum.State, lp.grid.Size())
+	res := lp.dev.Launch("lp-validate", lp.grid, lp.blk, func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		recompute(b, r)
+		perBlock[b.LinearIdx] = r.reduce()
+	})
+	return perBlock, res
+}
+
 // Validate launches the check kernel (§IV-A): a grid of the original
 // geometry in which each block recomputes its checksums from memory;
 // the recomputed values are compared against the durably stored ones
@@ -50,12 +68,7 @@ func (lp *LP) Validate(recompute RecomputeFunc) ([]int, gpusim.LaunchResult, err
 		merger = m
 	}
 	// Phase 1: every block recomputes its (partial) checksum.
-	perBlock := make([]checksum.State, lp.grid.Size())
-	res := lp.dev.Launch("lp-validate", lp.grid, lp.blk, func(b *gpusim.Block) {
-		r := lp.Begin(b)
-		recompute(b, r)
-		perBlock[b.LinearIdx] = r.reduce()
-	})
+	perBlock, res := lp.RecomputeStates(recompute)
 	// Combine partials per region (host-visible mirror of what warp 0 of
 	// a gather kernel would compute; checksums are commutative).
 	perRegion := make([]checksum.State, lp.regions)

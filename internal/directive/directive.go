@@ -93,6 +93,14 @@ var (
 	}
 )
 
+var fullIdentRe = regexp.MustCompile(`^[A-Za-z_]\w*$`)
+
+// validIdent reports whether s can name a checksum table: a single C
+// identifier. Expressions, quoted strings, and the empty string (from a
+// leading comma or a skipped argument) are rejected so the generated
+// `&name` references compile.
+func validIdent(s string) bool { return fullIdentRe.MatchString(s) }
+
 // splitArgs splits a pragma argument list at top-level commas, respecting
 // quotes and parentheses.
 func splitArgs(s string) []string {
@@ -152,6 +160,14 @@ func Translate(src string) (*Output, error) {
 				if len(args) != 3 {
 					return nil, errf(lineNo, "lpcuda_init takes 3 arguments, got %d", len(args))
 				}
+				if !validIdent(args[0]) {
+					return nil, errf(lineNo, "lpcuda_init table name %q is not an identifier", args[0])
+				}
+				for _, prev := range out.Tables {
+					if prev.Name == args[0] {
+						return nil, errf(lineNo, "duplicate lpcuda_init for table %q (first at line %d)", args[0], prev.Line)
+					}
+				}
 				ti := TableInit{Name: args[0], NElems: args[1], SElem: args[2], Line: lineNo}
 				out.Tables = append(out.Tables, ti)
 				indent := raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))]
@@ -168,6 +184,12 @@ func Translate(src string) (*Output, error) {
 				op := strings.Trim(args[0], `"`)
 				if op != "+" && op != "^" {
 					return nil, errf(lineNo, "unknown checksum type %q (want \"+\" or \"^\")", args[0])
+				}
+				if !validIdent(args[1]) {
+					return nil, errf(lineNo, "lpcuda_checksum table name %q is not an identifier", args[1])
+				}
+				if pendingChecksum != nil {
+					return nil, errf(lineNo, "lpcuda_checksum at line %d not yet bound to a statement", pendingChecksum.Line)
 				}
 				pendingChecksum = &ChecksumDirective{
 					Op: op, Table: args[1], Keys: args[2:],

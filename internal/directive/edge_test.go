@@ -1,0 +1,144 @@
+package directive
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// kernelWrap embeds body lines in a minimal annotated kernel so edge
+// cases exercise the in-kernel directive paths.
+func kernelWrap(body ...string) string {
+	lines := append([]string{
+		"__global__ void k(float *out, int n) {",
+		"    int i = blockIdx.x;",
+	}, body...)
+	lines = append(lines, "}")
+	return strings.Join(lines, "\n")
+}
+
+func TestTranslateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// wantErr is a substring the error must contain; "" means the
+		// translation must succeed.
+		wantErr string
+	}{
+		{
+			name:    "empty init pragma",
+			src:     "#pragma nvm lpcuda_init()",
+			wantErr: "takes 3 arguments, got 0",
+		},
+		{
+			name:    "init missing one argument",
+			src:     "#pragma nvm lpcuda_init(tab, n)",
+			wantErr: "takes 3 arguments, got 2",
+		},
+		{
+			name:    "init with empty table name",
+			src:     "#pragma nvm lpcuda_init(, n, 1)",
+			wantErr: "not an identifier",
+		},
+		{
+			name:    "init table name is an expression",
+			src:     "#pragma nvm lpcuda_init(tab[0], n, 1)",
+			wantErr: "not an identifier",
+		},
+		{
+			name:    "init table name starts with a digit",
+			src:     "#pragma nvm lpcuda_init(9tab, n, 1)",
+			wantErr: "not an identifier",
+		},
+		{
+			name: "duplicate init for the same table",
+			src: "#pragma nvm lpcuda_init(tab, n, 1)\n" +
+				"#pragma nvm lpcuda_init(tab, m, 2)",
+			wantErr: "duplicate lpcuda_init",
+		},
+		{
+			name: "two inits for distinct tables ok",
+			src: "#pragma nvm lpcuda_init(taba, n, 1)\n" +
+				"#pragma nvm lpcuda_init(tabb, m, 2)",
+		},
+		{
+			name:    "empty checksum pragma",
+			src:     kernelWrap(`    #pragma nvm lpcuda_checksum()`),
+			wantErr: "at least 3 arguments, got 0",
+		},
+		{
+			name:    "checksum with bad operator",
+			src:     kernelWrap(`    #pragma nvm lpcuda_checksum("*", tab, i)`, "    out[i] = 1.0f;"),
+			wantErr: "unknown checksum type",
+		},
+		{
+			name:    "checksum with malformed table name",
+			src:     kernelWrap(`    #pragma nvm lpcuda_checksum("+", "tab", i)`, "    out[i] = 1.0f;"),
+			wantErr: "not an identifier",
+		},
+		{
+			name:    "checksum outside any kernel",
+			src:     `#pragma nvm lpcuda_checksum("+", tab, i)`,
+			wantErr: "outside a __global__ kernel",
+		},
+		{
+			name: "duplicate checksum pragmas back to back",
+			src: kernelWrap(
+				`    #pragma nvm lpcuda_checksum("+", tab, i)`,
+				`    #pragma nvm lpcuda_checksum("^", tab, i)`,
+				"    out[i] = 1.0f;"),
+			wantErr: "not yet bound to a statement",
+		},
+		{
+			name:    "checksum annotating a non-assignment",
+			src:     kernelWrap(`    #pragma nvm lpcuda_checksum("+", tab, i)`, "    __syncthreads();"),
+			wantErr: "must annotate a simple assignment",
+		},
+		{
+			name:    "checksum annotating a compound assignment",
+			src:     kernelWrap(`    #pragma nvm lpcuda_checksum("+", tab, i)`, "    out[i] += 1.0f;"),
+			wantErr: "must annotate a simple assignment",
+		},
+		{
+			name:    "checksum at end of kernel with no statement",
+			src:     kernelWrap(`    #pragma nvm lpcuda_checksum("+", tab, i)`),
+			wantErr: "must annotate a simple assignment",
+		},
+		{
+			name: "well-formed checksum ok",
+			src:  kernelWrap(`    #pragma nvm lpcuda_checksum("+", tab, i)`, "    out[i] = 1.0f;"),
+		},
+		{
+			name: "unterminated kernel",
+			src: "__global__ void k(float *out) {\n" +
+				"    out[0] = 1.0f;",
+			wantErr: "unterminated kernel",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := Translate(tc.src)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Translate: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Translate succeeded, want error containing %q\ninstrumented:\n%s",
+					tc.wantErr, out.Instrumented)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+			var de *Error
+			if !errors.As(err, &de) {
+				t.Fatalf("error %T is not *directive.Error", err)
+			}
+			if de.Line < 1 {
+				t.Fatalf("error line %d, want >= 1", de.Line)
+			}
+		})
+	}
+}

@@ -138,6 +138,19 @@ type RecoveryReport struct {
 	Uncommitted []int
 }
 
+// ImageCommitted reads the per-block commit flags from a raw durable
+// image (memsim.NVMImage or an oracle shadow of it): element blk is true
+// iff block blk's commit flag persisted. This is the device-free spec of
+// Recover's committed/uncommitted split — the crash-consistency checker
+// predicts the recovery report from its oracle image with it.
+func (e *EP) ImageCommitted(img []byte) []bool {
+	out := make([]bool, e.grid.Size())
+	for blk := range out {
+		out[blk] = memsim.ImageU64(img, e.flags.Base+uint64(blk)*8) != 0
+	}
+	return out
+}
+
 // Recover replays the redo logs of committed blocks into durable memory
 // and returns the blocks whose commit never persisted (the caller
 // re-executes them, then flushes). Call after a crash.

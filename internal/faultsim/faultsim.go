@@ -239,6 +239,16 @@ type Golden struct {
 	written [][]int
 }
 
+// Output returns the golden durable bytes of output region i.
+func (g *Golden) Output(i int) []byte { return g.outputs[i] }
+
+// WrittenOffsets returns the byte offsets of output region i the kernel
+// actually wrote (the media-error target set).
+func (g *Golden) WrittenOffsets(i int) []int { return g.written[i] }
+
+// NumOutputs returns the number of output regions in the golden image.
+func (g *Golden) NumOutputs() int { return len(g.outputs) }
+
 // GoldenRun computes the golden image for a kernel by running it on a
 // fresh fault-free system and flushing everything durable.
 func GoldenRun(opt Options, kernel string) (g *Golden, err error) {

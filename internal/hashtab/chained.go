@@ -1,7 +1,6 @@
 package hashtab
 
 import (
-	"fmt"
 
 	"gpulp/internal/checksum"
 	"gpulp/internal/gpusim"
@@ -86,8 +85,10 @@ func (c *chainedStore) bucketOf(key uint64) int {
 	return int(mix64(key, c.seed)) & c.mask
 }
 
-// Insert implements Store: allocate a node from the pool, fill it, and
-// push it at the bucket head.
+// Insert implements Store: update the key's node in place when the chain
+// already holds one (re-commits — later epochs, recovery re-execution —
+// must not consume pool space), otherwise allocate a node from the pool
+// and push it at the bucket head.
 func (c *chainedStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 	st := blockStats(t, &c.stats)
 	st.Inserts++
@@ -95,16 +96,33 @@ func (c *chainedStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) 
 		t.LockAcquire(c.lock)
 		defer t.LockRelease(c.lock)
 	}
+	bucketIdx := c.bucketOf(key)
+	t.Op(4)
+	cur := t.LoadU64K(memsim.AccessChecksum, c.heads, bucketIdx)
+	for depth := 0; cur != 0 && cur <= uint64(c.cap) && depth <= c.cap; depth++ {
+		nb := int(cur-1) * chainNodeWords
+		if t.LoadU64K(memsim.AccessChecksum, c.pool, nb) == PackKey(key) {
+			t.StoreU64K(memsim.AccessChecksum, c.pool, nb+1, sum.Mod)
+			t.StoreU64K(memsim.AccessChecksum, c.pool, nb+2, sum.Par)
+			return
+		}
+		cur = t.LoadU64K(memsim.AccessChecksum, c.pool, nb+3)
+		t.Stall(chainPointerStall)
+	}
 	node := t.AtomicAddU64(c.cursor, 0, 1)
 	if node >= uint64(c.cap) {
-		panic(fmt.Sprintf("hashtab: chained node pool exhausted (%d nodes)", c.cap))
+		// Out of nodes: only reachable when the durable cursor is
+		// corrupted (capacity covers one node per key). Drop the insert
+		// — validation will flag the region and recovery escalation
+		// rebuilds the store from a clean Clear().
+		st.Overflows++
+		return
 	}
 	base := int(node) * chainNodeWords
-	t.StoreU64K(memsim.AccessChecksum, c.pool, base, key+1)
+	t.StoreU64K(memsim.AccessChecksum, c.pool, base, PackKey(key))
 	t.StoreU64K(memsim.AccessChecksum, c.pool, base+1, sum.Mod)
 	t.StoreU64K(memsim.AccessChecksum, c.pool, base+2, sum.Par)
-	bucket := c.bucketOf(key)
-	t.Op(4)
+	bucket := bucketIdx
 	st.Probes++
 
 	if c.mode == LockFree {
@@ -132,15 +150,17 @@ func (c *chainedStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) 
 }
 
 // Lookup implements Store: walk the chain, one dependent load per link.
+// Corrupt links (node index past the pool) terminate the walk as "not
+// found" rather than faulting — validation then reports the key failed.
 func (c *chainedStore) Lookup(t *gpusim.Thread, key uint64) (checksum.State, bool) {
 	blockStats(t, &c.stats).Lookups++
 	bucket := c.bucketOf(key)
 	t.Op(4)
 	cur := t.LoadU64K(memsim.AccessChecksum, c.heads, bucket)
-	for depth := 0; cur != 0 && depth <= c.cap; depth++ {
+	for depth := 0; cur != 0 && cur <= uint64(c.cap) && depth <= c.cap; depth++ {
 		base := int(cur-1) * chainNodeWords
 		got := t.LoadU64K(memsim.AccessChecksum, c.pool, base)
-		if got == key+1 {
+		if got == PackKey(key) {
 			mod := t.LoadU64K(memsim.AccessChecksum, c.pool, base+1)
 			par := t.LoadU64K(memsim.AccessChecksum, c.pool, base+2)
 			return checksum.State{Mod: mod, Par: par}, true

@@ -53,15 +53,41 @@ func TestChainedLookupMiss(t *testing.T) {
 	}
 }
 
-func TestChainedPoolExhaustionPanics(t *testing.T) {
+func TestChainedPoolExhaustionDropsInsert(t *testing.T) {
+	// One node beyond capacity: the insert is dropped (counted as an
+	// overflow) instead of faulting, so recovery can escalate to a store
+	// rebuild. The in-capacity keys stay intact.
 	dev := newTestDevice()
 	s := New(dev, "tbl", Config{Kind: Chained, NumKeys: 8, Seed: 2})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("pool exhaustion did not panic")
-		}
-	}()
 	insertAll(dev, s, 9)
+	if s.Stats().Overflows != 1 {
+		t.Fatalf("overflows = %d, want 1", s.Stats().Overflows)
+	}
+	lookupAll(t, dev, s, 8)
+	found := true
+	dev.Launch("miss", gpusim.D1(1), gpusim.D1(1), func(b *gpusim.Block) {
+		b.ForAll(func(th *gpusim.Thread) {
+			_, found = s.Lookup(th, 8)
+		})
+	})
+	if found {
+		t.Error("dropped key 8 unexpectedly present")
+	}
+}
+
+func TestChainedReinsertUpdatesInPlace(t *testing.T) {
+	// Re-committing every key (as multi-epoch runs and recovery
+	// re-execution do) must update nodes in place, not consume pool
+	// space.
+	dev := newTestDevice()
+	s := New(dev, "tbl", Config{Kind: Chained, NumKeys: 16, Seed: 4})
+	for round := 0; round < 5; round++ {
+		insertAll(dev, s, 16)
+	}
+	if ov := s.Stats().Overflows; ov != 0 {
+		t.Fatalf("overflows = %d after re-inserts, want 0", ov)
+	}
+	lookupAll(t, dev, s, 16)
 }
 
 func TestChainedClear(t *testing.T) {

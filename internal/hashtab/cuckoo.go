@@ -87,7 +87,7 @@ func (c *cuckooStore) Insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 
 func (c *cuckooStore) insert(t *gpusim.Thread, key uint64, sum checksum.State) {
 	st := blockStats(t, &c.stats)
-	curKey, curSum := key+1, sum
+	curKey, curSum := PackKey(key), sum
 	table := 0
 	for kick := 0; kick < maxKicks; kick++ {
 		slot := c.slotFor(curKey-1, table)
@@ -196,7 +196,7 @@ func (c *cuckooStore) Lookup(t *gpusim.Thread, key uint64) (checksum.State, bool
 		slot := c.slotFor(key, table)
 		tab := c.tabs[table]
 		t.Op(2)
-		if got := t.LoadU64K(memsim.AccessChecksum, tab.region, tab.keyIdx(slot)); got == key+1 {
+		if got := t.LoadU64K(memsim.AccessChecksum, tab.region, tab.keyIdx(slot)); got == PackKey(key) {
 			return tab.loadChecksums(t, slot), true
 		}
 	}

@@ -1,0 +1,52 @@
+package hashtab
+
+import "testing"
+
+// FuzzKeyPacking checks the packed-slot encoding invariants every store
+// relies on: packing round-trips, never produces the empty sentinel, and
+// unpacking the empty word reports absence.
+func FuzzKeyPacking(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << 63)
+	f.Add(^uint64(0) - 1)
+	f.Fuzz(func(t *testing.T, key uint64) {
+		if key == ^uint64(0) {
+			// Outside the documented key space [0, 2^64-1).
+			return
+		}
+		packed := PackKey(key)
+		if packed == 0 {
+			t.Fatalf("PackKey(%#x) produced the empty sentinel", key)
+		}
+		got, ok := UnpackKey(packed)
+		if !ok || got != key {
+			t.Fatalf("UnpackKey(PackKey(%#x)) = %#x, %v", key, got, ok)
+		}
+		if _, ok := UnpackKey(0); ok {
+			t.Fatal("UnpackKey(0) reported a present key")
+		}
+	})
+}
+
+// FuzzQuadProbeCoversTable checks the property quadratic probing's
+// termination rests on (§IV-D): with a power-of-two table, triangular
+// probing (h + i(i+1)/2) visits every slot within cap probes, so an
+// insert into a non-full table always finds a free slot.
+func FuzzQuadProbeCoversTable(f *testing.F) {
+	f.Add(uint64(0), uint8(4))
+	f.Add(uint64(123456789), uint8(8))
+	f.Fuzz(func(t *testing.T, key uint64, logCap uint8) {
+		capPow := 1 << (logCap % 11) // up to 1024 slots
+		mask := capPow - 1
+		home := int(mix64(key, 7)) & mask
+		seen := make([]bool, capPow)
+		for i := 0; i < capPow; i++ {
+			seen[(home+i*(i+1)/2)&mask] = true
+		}
+		for slot, v := range seen {
+			if !v {
+				t.Fatalf("cap %d home %d: probe sequence never reaches slot %d", capPow, home, slot)
+			}
+		}
+	})
+}

@@ -91,6 +91,12 @@ type Stats struct {
 	MaxProbe   int64
 	Rehashes   int64
 	RaceRedos  int64
+	// Overflows counts inserts dropped because the store ran out of
+	// space — reachable only when its allocation state is corrupted
+	// (e.g. a bit-flipped bump cursor), since capacity covers one node
+	// per key. A dropped insert surfaces as a validation failure, which
+	// recovery escalation repairs by rebuilding the store.
+	Overflows int64
 }
 
 // merge folds o into s. Every field is commutative (sums and a max), so
@@ -106,6 +112,7 @@ func (s *Stats) merge(o *Stats) {
 	}
 	s.Rehashes += o.Rehashes
 	s.RaceRedos += o.RaceRedos
+	s.Overflows += o.Overflows
 }
 
 // blockStats returns the Stats a store operation should mutate on behalf
@@ -137,6 +144,12 @@ type Store interface {
 	// recovery. ok is false when the key is absent (its insertion never
 	// persisted).
 	Lookup(t *gpusim.Thread, key uint64) (sum checksum.State, ok bool)
+	// ImageLookup is Lookup over a raw durable image (NVMImage or an
+	// oracle shadow of it) through plain byte reads — no device, no
+	// traffic, no stats. It must agree with Lookup run over the same
+	// durable bytes; the crash-consistency checker holds the two paths
+	// against each other.
+	ImageLookup(img []byte, key uint64) (sum checksum.State, ok bool)
 	// TableBytes is the global-memory footprint of the store, used for
 	// the Table V space-overhead column.
 	TableBytes() int64

@@ -1,0 +1,70 @@
+package hashtab
+
+import "testing"
+
+// TestImageLookupMatchesLookup holds the two lookup implementations
+// against each other: after inserting and flushing, ImageLookup over the
+// durable image must agree with the device Lookup for every present key
+// and for a band of absent ones.
+func TestImageLookupMatchesLookup(t *testing.T) {
+	const n = 300
+	for _, kind := range []Kind{Quad, Cuckoo, GlobalArray, Chained} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dev := newTestDevice()
+			s := New(dev, "tbl", Config{Kind: kind, NumKeys: n, Seed: 11})
+			insertAll(dev, s, n)
+			dev.Mem().FlushAll()
+			img := dev.Mem().NVMImage()
+			for key := uint64(0); key < n; key++ {
+				got, ok := s.ImageLookup(img, key)
+				if !ok {
+					t.Fatalf("ImageLookup(%d) absent after flush", key)
+				}
+				if got != sumFor(key) {
+					t.Fatalf("ImageLookup(%d) = %+v, want %+v", key, got, sumFor(key))
+				}
+			}
+			if kind == GlobalArray {
+				return // direct indexing panics out of range by contract
+			}
+			for key := uint64(n); key < n+50; key++ {
+				if _, ok := s.ImageLookup(img, key); ok {
+					t.Fatalf("ImageLookup(%d) found a never-inserted key", key)
+				}
+			}
+		})
+	}
+}
+
+// TestImageLookupEmptyTable: a freshly cleared store finds nothing in
+// its own durable image.
+func TestImageLookupEmptyTable(t *testing.T) {
+	for _, kind := range []Kind{Quad, Cuckoo, GlobalArray, Chained} {
+		dev := newTestDevice()
+		s := New(dev, "tbl", Config{Kind: kind, NumKeys: 64, Seed: 3})
+		dev.Mem().FlushAll()
+		img := dev.Mem().NVMImage()
+		for key := uint64(0); key < 64; key++ {
+			if _, ok := s.ImageLookup(img, key); ok {
+				t.Fatalf("%v: ImageLookup(%d) found a key in an empty table", kind, key)
+			}
+		}
+	}
+}
+
+// TestPackKeyRoundTrip pins the in-band empty-marker encoding.
+func TestPackKeyRoundTrip(t *testing.T) {
+	for _, key := range []uint64{0, 1, 41, 1 << 32, 1<<63 - 1} {
+		w := PackKey(key)
+		if w == 0 {
+			t.Fatalf("PackKey(%d) collides with the empty marker", key)
+		}
+		got, ok := UnpackKey(w)
+		if !ok || got != key {
+			t.Fatalf("UnpackKey(PackKey(%d)) = %d, %v", key, got, ok)
+		}
+	}
+	if _, ok := UnpackKey(0); ok {
+		t.Fatal("UnpackKey(0) must report empty")
+	}
+}

@@ -86,8 +86,8 @@ func (q *quadStore) insertCAS(t *gpusim.Thread, key uint64, sum checksum.State) 
 		slot := q.slotAt(home, i)
 		t.Op(2) // probe index arithmetic
 		st.Probes++
-		old := t.AtomicCASU64(q.tab.region, q.tab.keyIdx(slot), 0, key+1)
-		if old == 0 || old == key+1 {
+		old := t.AtomicCASU64(q.tab.region, q.tab.keyIdx(slot), 0, PackKey(key))
+		if old == 0 || old == PackKey(key) {
 			q.tab.storeChecksums(t, slot, sum)
 			q.noteProbeDepth(st, int64(i))
 			return
@@ -115,7 +115,7 @@ func (q *quadStore) insertPlain(t *gpusim.Thread, key uint64, sum checksum.State
 		t.Op(2)
 		st.Probes++
 		old := t.LoadU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot))
-		if old != 0 && old != key+1 {
+		if old != 0 && old != PackKey(key) {
 			st.Collisions++
 			continue
 		}
@@ -127,7 +127,7 @@ func (q *quadStore) insertPlain(t *gpusim.Thread, key uint64, sum checksum.State
 			t.SerializeOn(q.tab.region, q.tab.keyIdx(slot)*8)
 			t.SerializeOn(q.tab.region, q.tab.keyIdx(slot)*8)
 			raced := t.RacyTouch(q.tab.region, q.tab.keyIdx(slot)*8, raceWindowCycles)
-			t.StoreU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot), key+1)
+			t.StoreU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot), PackKey(key))
 			// Verification read-back: without atomics, the only way to
 			// learn whether our claim survived.
 			_ = t.LoadU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot))
@@ -141,7 +141,7 @@ func (q *quadStore) insertPlain(t *gpusim.Thread, key uint64, sum checksum.State
 				continue
 			}
 		} else {
-			t.StoreU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot), key+1)
+			t.StoreU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot), PackKey(key))
 		}
 		q.tab.storeChecksums(t, slot, sum)
 		q.noteProbeDepth(st, int64(i))
@@ -166,7 +166,7 @@ func (q *quadStore) Lookup(t *gpusim.Thread, key uint64) (checksum.State, bool) 
 		t.Op(2)
 		got := t.LoadU64K(memsim.AccessChecksum, q.tab.region, q.tab.keyIdx(slot))
 		switch got {
-		case key + 1:
+		case PackKey(key):
 			return q.tab.loadChecksums(t, slot), true
 		case 0:
 			return checksum.State{}, false

@@ -102,7 +102,11 @@ func (m *Memory) tornWriteBack(l *line, rng *rand.Rand) {
 	}
 	n := (1 + rng.Intn(chunks-1)) * 8
 	m.ensureNVM(l.tag)
-	copy(m.nvm[l.tag:l.tag+uint64(n)], l.data[:n])
+	// Route through mutateNVM so an active snapshot preserves the line's
+	// pre-tear durable bytes — torn persistence is a durable-image event
+	// and must stay invisible to the frozen coherent view.
+	m.mutateNVM(l.tag, l.data[:n])
+	m.notify(PersistEvent{Kind: EvTornWriteBack, Addr: l.tag, Data: l.data[:n]})
 	m.stats.NVMLineWrites++
 	if m.stats.NVMWritesByRegion == nil {
 		m.stats.NVMWritesByRegion = make(map[string]int64)
@@ -127,10 +131,22 @@ func (m *Memory) InjectBitFlipsRange(rng *rand.Rand, base uint64, size, n int) [
 	for i := 0; i < n; i++ {
 		bit := rng.Intn(size * 8)
 		addr := base + uint64(bit/8)
-		m.nvm[addr] ^= 1 << (bit % 8)
+		m.FlipBit(addr, uint8(bit%8))
 		flipped = append(flipped, addr)
 	}
 	return flipped
+}
+
+// FlipBit flips one bit of the durable image at addr, the deterministic
+// primitive behind InjectBitFlips. The mutation goes through the
+// snapshot copy-on-write path: an active Snapshot keeps presenting the
+// pre-flip byte, exactly as it would had the media error struck with no
+// snapshot outstanding (flips surface only to durable readers).
+func (m *Memory) FlipBit(addr uint64, bit uint8) {
+	m.ensureNVM(addr &^ uint64(m.cfg.LineSize-1))
+	b := m.nvm[addr] ^ (1 << (bit % 8))
+	m.mutateNVM(addr, []byte{b})
+	m.notify(PersistEvent{Kind: EvBitFlip, Addr: addr, Bit: bit % 8})
 }
 
 // InjectBitFlips flips n random bits anywhere in the allocated durable
@@ -163,5 +179,6 @@ func (m *Memory) RestoreNVM(img []byte) {
 	for i := len(img); i < len(m.nvm); i++ {
 		m.nvm[i] = 0
 	}
+	m.notify(PersistEvent{Kind: EvRestore, Data: img})
 	m.Crash()
 }

@@ -169,6 +169,12 @@ type Memory struct {
 	regions []Region
 	stats   Stats
 	snap    *Snapshot // active copy-on-write snapshot, nil when inactive
+
+	// observer receives every durable-image mutation (see observe.go).
+	observer func(PersistEvent)
+	// plantDropNth/plantWBCount implement PlantDropWriteBack.
+	plantDropNth int
+	plantWBCount int
 }
 
 // New creates a Memory with the given configuration. A bad configuration
@@ -316,7 +322,10 @@ func (m *Memory) ensureNVM(lineAddr uint64) {
 
 func (m *Memory) writeBack(l *line) {
 	m.ensureNVM(l.tag)
-	m.mutateNVMLine(l.tag, l.data)
+	if !m.plantShouldDrop() {
+		m.mutateNVMLine(l.tag, l.data)
+	}
+	m.notify(PersistEvent{Kind: EvWriteBack, Addr: l.tag, Data: l.data})
 	m.stats.NVMLineWrites++
 	if m.stats.NVMWritesByRegion == nil {
 		m.stats.NVMWritesByRegion = make(map[string]int64)
@@ -370,6 +379,7 @@ func (m *Memory) Crash() {
 			m.sets[i].ways[j].dirty = false
 		}
 	}
+	m.notify(PersistEvent{Kind: EvCrash})
 }
 
 // FlushAddr writes the line containing addr back to NVM if it is cached
@@ -518,6 +528,7 @@ func (m *Memory) HostWrite(addr uint64, buf []byte) {
 		m.ensureNVM(uint64(end-1) &^ uint64(m.cfg.LineSize-1))
 	}
 	m.mutateNVM(addr, buf)
+	m.notify(PersistEvent{Kind: EvHostWrite, Addr: addr, Data: buf})
 	ls := uint64(m.cfg.LineSize)
 	first := addr &^ (ls - 1)
 	last := (addr + uint64(len(buf)) - 1) &^ (ls - 1)

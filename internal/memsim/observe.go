@@ -1,0 +1,131 @@
+// Persistency observation surface: a callback stream of every mutation of
+// the durable (NVM) image. The crash-consistency model checker
+// (internal/persistcheck) attaches an observer and maintains a pure-Go
+// shadow copy of the durable image from the event stream alone; after any
+// crash the shadow must match the real NVM image bit for bit. The two
+// views share no mutation code — the observer fires at the semantic level
+// (an eviction happened, a host write happened) while the shadow replays
+// the events independently — so a divergence pinpoints a persistency bug
+// in either the hierarchy or the model.
+//
+// The file also hosts the planted-bug surface: PlantDropWriteBack makes
+// the hierarchy silently lose one eviction (the line is marked clean and
+// the eviction is reported, but the bytes never reach the NVM array).
+// This models the exact failure class the checker exists to catch —
+// hardware that acknowledges a write-back the media never completed — and
+// doubles as the checker's self-test: a checker that cannot catch the
+// planted bug is not checking anything.
+package memsim
+
+import "encoding/binary"
+
+// PersistEventKind discriminates durable-image mutations.
+type PersistEventKind int
+
+const (
+	// EvWriteBack is a full dirty-line eviction or flush reaching NVM.
+	EvWriteBack PersistEventKind = iota
+	// EvTornWriteBack is a partial (prefix-only) line write-back; Data
+	// holds just the persisted prefix.
+	EvTornWriteBack
+	// EvHostWrite is a direct host write to NVM (input pre-loading,
+	// durable clears).
+	EvHostWrite
+	// EvBitFlip is a single-bit NVM media error; Bit is the bit index
+	// within the byte at Addr.
+	EvBitFlip
+	// EvRestore replaces the whole durable image (checkpoint restore);
+	// Data is the full new image.
+	EvRestore
+	// EvCrash is a power failure: all cached state dropped, durable image
+	// untouched. Carries no bytes; observers use it to mark epochs.
+	EvCrash
+)
+
+// String implements fmt.Stringer.
+func (k PersistEventKind) String() string {
+	switch k {
+	case EvWriteBack:
+		return "write-back"
+	case EvTornWriteBack:
+		return "torn-write-back"
+	case EvHostWrite:
+		return "host-write"
+	case EvBitFlip:
+		return "bit-flip"
+	case EvRestore:
+		return "restore"
+	case EvCrash:
+		return "crash"
+	}
+	return "unknown"
+}
+
+// PersistEvent describes one mutation of the durable image. Data, when
+// non-nil, aliases internal buffers and is valid only for the duration of
+// the observer call — observers must copy what they keep.
+type PersistEvent struct {
+	Kind PersistEventKind
+	Addr uint64
+	Data []byte
+	// Bit is the flipped bit index for EvBitFlip (0-7 within Addr's byte).
+	Bit uint8
+}
+
+// SetPersistObserver installs fn as the durable-image observer (nil
+// removes it) and returns the previous observer. The observer fires on
+// the goroutine performing the mutation — the single owner goroutine of
+// the hierarchy — so it needs no internal synchronization.
+func (m *Memory) SetPersistObserver(fn func(PersistEvent)) func(PersistEvent) {
+	prev := m.observer
+	m.observer = fn
+	return prev
+}
+
+// notify reports one durable mutation to the observer, if any.
+func (m *Memory) notify(ev PersistEvent) {
+	if m.observer != nil {
+		m.observer(ev)
+	}
+}
+
+// PlantDropWriteBack arms a deliberate persistency bug for checker
+// self-tests: the nth write-back after arming (1-based) is silently
+// dropped — the line is marked clean, traffic is counted, and the
+// eviction is reported to the observer, but the bytes never reach the
+// NVM array. 0 disarms. This is exactly the "acknowledged but lost"
+// media failure Lazy Persistency's validation must detect; the model
+// checker is required to catch it and shrink it to a minimal reproducer.
+func (m *Memory) PlantDropWriteBack(nth int) {
+	m.plantDropNth = nth
+	m.plantWBCount = 0
+}
+
+// plantShouldDrop advances the planted-bug counter and reports whether
+// this write-back's NVM mutation must be dropped.
+func (m *Memory) plantShouldDrop() bool {
+	if m.plantDropNth <= 0 {
+		return false
+	}
+	m.plantWBCount++
+	return m.plantWBCount == m.plantDropNth
+}
+
+// ImageU64 reads a little-endian uint64 at addr from a durable-image
+// byte slice (as returned by NVMImage or maintained by a persistency
+// oracle), returning 0 for any out-of-range access — the same semantics
+// a post-crash reader gets from never-written NVM.
+func ImageU64(img []byte, addr uint64) uint64 {
+	if addr+8 > uint64(len(img)) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(img[addr:])
+}
+
+// ImageU32 is ImageU64 for a 32-bit word.
+func ImageU32(img []byte, addr uint64) uint32 {
+	if addr+4 > uint64(len(img)) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(img[addr:])
+}

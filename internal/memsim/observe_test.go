@@ -1,0 +1,184 @@
+package memsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestBitFlipUnderSnapshotFrozen is the regression test for the
+// snapshot × fault-injection interaction: a media bit flip landing on a
+// line the snapshot has NOT copy-on-write-shadowed (clean or uncached)
+// used to write the shared backing array directly, so the "frozen"
+// coherent view leaked the flip. The flip must surface only to durable
+// readers; the snapshot must keep presenting pre-flip bytes.
+func TestBitFlipUnderSnapshotFrozen(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 256)
+	for i := 0; i < 64; i++ {
+		r.StoreU32(AccessData, i, uint32(i)+100)
+	}
+	m.FlushAll() // every line clean and durable — no eager COW copies
+	s := m.BeginSnapshot()
+
+	addr := r.Base + 4*7 // element 7
+	before := s.ReadU32(addr)
+	m.FlipBit(addr, 3)
+
+	if got := s.ReadU32(addr); got != before {
+		t.Errorf("snapshot leaked bit flip: read %#x, want frozen %#x", got, before)
+	}
+	if got := r.NVMU32(7); got != before^(1<<3) {
+		t.Errorf("durable image missing flip: read %#x, want %#x", got, before^(1<<3))
+	}
+	m.EndSnapshot()
+
+	// After a crash the flip is what post-crash readers load.
+	m.Crash()
+	if got, _ := r.LoadU32(AccessData, 7); got != before^(1<<3) {
+		t.Errorf("post-crash load = %#x, want flipped %#x", got, before^(1<<3))
+	}
+}
+
+// TestBitFlipUnderSnapshotDirtyLine covers the COW-shadowed case: the
+// line was dirty at BeginSnapshot (eagerly copied with its coherent
+// value), then flushed and hit by a flip. The snapshot must present the
+// original coherent value throughout.
+func TestBitFlipUnderSnapshotDirtyLine(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 256)
+	r.StoreU32(AccessData, 0, 0xdeadbeef) // dirty, not yet durable
+	s := m.BeginSnapshot()
+
+	m.FlushAll()
+	m.FlipBit(r.Base, 0)
+
+	if got := s.ReadU32(r.Base); got != 0xdeadbeef {
+		t.Errorf("snapshot of dirty line = %#x, want frozen %#x", got, 0xdeadbeef)
+	}
+	if got := r.NVMU32(0); got != 0xdeadbeef^1 {
+		t.Errorf("durable image = %#x, want flushed-then-flipped %#x", got, 0xdeadbeef^1)
+	}
+	m.EndSnapshot()
+}
+
+// TestTornWriteBackUnderSnapshotFrozen: torn write-backs mutate the
+// durable array mid-snapshot and must likewise stay invisible to the
+// frozen view.
+func TestTornWriteBackUnderSnapshotFrozen(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 256)
+	for i := 0; i < 64; i++ {
+		r.StoreU32(AccessData, i, uint32(i)*2654435761+1)
+	}
+	want := make([]uint32, 64)
+	for i := range want {
+		want[i], _ = r.LoadU32(AccessData, i)
+	}
+	s := m.BeginSnapshot()
+	m.PartialCrash(rand.New(rand.NewSource(7)), CrashProfile{EvictFrac: 1, TornFrac: 1})
+	for i := range want {
+		if got := s.ReadU32(r.Base + uint64(4*i)); got != want[i] {
+			t.Fatalf("snapshot[%d] = %#x after torn write-backs, want frozen %#x", i, got, want[i])
+		}
+	}
+	m.EndSnapshot()
+}
+
+// TestPersistObserverStream checks that the observer sees every durable
+// mutation with the bytes that actually landed: a shadow image replayed
+// from events alone must equal the real durable image.
+func TestPersistObserverStream(t *testing.T) {
+	m := MustNew(tinyConfig())
+	shadow := make([]byte, 0)
+	grow := func(end uint64) {
+		for uint64(len(shadow)) < end {
+			shadow = append(shadow, 0)
+		}
+	}
+	crashes := 0
+	m.SetPersistObserver(func(ev PersistEvent) {
+		switch ev.Kind {
+		case EvWriteBack, EvTornWriteBack, EvHostWrite:
+			grow(ev.Addr + uint64(len(ev.Data)))
+			copy(shadow[ev.Addr:], ev.Data)
+		case EvBitFlip:
+			grow(ev.Addr + 1)
+			shadow[ev.Addr] ^= 1 << ev.Bit
+		case EvRestore:
+			shadow = append(shadow[:0], ev.Data...)
+		case EvCrash:
+			crashes++
+		}
+	})
+
+	r := m.Alloc("data", 512)
+	for i := 0; i < 128; i++ {
+		r.StoreU32(AccessData, i, uint32(i)^0x5a5a)
+	}
+	m.FlushAddr(r.Base)
+	r.HostWriteU64s([]uint64{1, 2, 3})
+	m.InjectBitFlips(rand.New(rand.NewSource(3)), 5)
+	m.PartialCrash(rand.New(rand.NewSource(9)), CrashProfile{EvictFrac: 0.7, TornFrac: 0.5})
+
+	img := m.NVMImage()
+	grow(uint64(len(img)))
+	if len(shadow) > len(img) {
+		t.Fatalf("shadow grew past the durable image: %d > %d", len(shadow), len(img))
+	}
+	if !bytes.Equal(shadow, img[:len(shadow)]) {
+		t.Error("event-replayed shadow diverges from durable image")
+	}
+	if crashes != 1 {
+		t.Errorf("observed %d crash events, want 1", crashes)
+	}
+
+	snap := m.SnapshotNVM()
+	m.HostWrite(r.Base, []byte{0xff, 0xff})
+	m.RestoreNVM(snap)
+	if !bytes.Equal(shadow, m.NVMImage()[:len(shadow)]) {
+		t.Error("shadow diverges after restore")
+	}
+}
+
+// TestPlantDropWriteBack verifies the planted persistency bug: the nth
+// write-back is acknowledged (line clean, eviction observed, traffic
+// counted) but its bytes never reach NVM — and that the observer-driven
+// shadow therefore diverges from the durable image, which is exactly the
+// signal the model checker keys on.
+func TestPlantDropWriteBack(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 128)
+	r.StoreU32(AccessData, 0, 0x11111111)
+	r.StoreU32(AccessData, 16, 0x22222222) // second line
+
+	var wbs int
+	m.SetPersistObserver(func(ev PersistEvent) {
+		if ev.Kind == EvWriteBack {
+			wbs++
+		}
+	})
+	m.PlantDropWriteBack(1)
+	m.FlushAddr(r.Base)      // dropped: acknowledged, never durable
+	m.FlushAddr(r.Base + 64) // persists normally
+	if m.DirtyLines() != 0 {
+		t.Fatal("planted drop left dirty lines — it must acknowledge the eviction")
+	}
+	if wbs != 2 {
+		t.Fatalf("observer saw %d write-backs, want 2 (the drop is silent)", wbs)
+	}
+	if got := r.NVMU32(0); got != 0 {
+		t.Errorf("dropped write-back reached NVM: %#x", got)
+	}
+	if got := r.NVMU32(16); got != 0x22222222 {
+		t.Errorf("second write-back lost: %#x", got)
+	}
+
+	// Disarmed: everything persists again.
+	m.PlantDropWriteBack(0)
+	r.StoreU32(AccessData, 0, 0x33333333)
+	m.FlushAddr(r.Base)
+	if got := r.NVMU32(0); got != 0x33333333 {
+		t.Errorf("write-back after disarm lost: %#x", got)
+	}
+}

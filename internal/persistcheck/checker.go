@@ -1,0 +1,300 @@
+// Checker orchestration: scenario generation, coverage accounting,
+// failure shrinking, and the deterministic report.
+package persistcheck
+
+import (
+	"fmt"
+	"time"
+
+	"gpulp/internal/faultsim"
+	"gpulp/internal/kernels"
+)
+
+// Config parameterizes a checking run.
+type Config struct {
+	// Seed makes the whole run reproducible: the same seed generates the
+	// same scenarios in the same order.
+	Seed uint64
+	// N is the total scenario budget. The mandatory coverage sweep
+	// (every kernel × backend, plus one differential of each kind)
+	// always runs in full, even when it exceeds N.
+	N int
+	// Duration, when nonzero, stops random generation once elapsed
+	// (checked between scenarios; the coverage sweep still completes).
+	Duration time.Duration
+	// Kernels overrides the workload list (default: the Table I suite).
+	Kernels []string
+	// PlantDrop arms the planted persistency bug in every raw-memory
+	// scenario: the nth write-back is silently dropped. A checker that
+	// does not fail with this set is broken.
+	PlantDrop int
+	// Progress, when set, receives one line per scenario batch.
+	Progress func(format string, args ...any)
+}
+
+// Failure records one contract violation with its (shrunk) reproducer.
+type Failure struct {
+	Scenario string `json:"scenario"`
+	Err      string `json:"err"`
+	Repro    Repro  `json:"repro"`
+}
+
+// Report is the outcome of a checking run.
+type Report struct {
+	Scenarios int `json:"scenarios"`
+	MemOps    int `json:"memops"`
+	Kernel    int `json:"kernel"`
+	Diff      int `json:"diff"`
+	// Coverage counts scenarios per "kernel/backend" pair.
+	Coverage map[string]int `json:"coverage"`
+	Failures []Failure      `json:"failures,omitempty"`
+	// Fingerprint folds every scenario outcome: two runs with the same
+	// seed and budget must report the same fingerprint.
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// Ok reports whether the run found no contract violations.
+func (r *Report) Ok() bool { return len(r.Failures) == 0 }
+
+func (r *Report) fold(s string, failed bool) {
+	h := r.Fingerprint
+	for _, b := range []byte(s) {
+		h = splitmix(h ^ uint64(b))
+	}
+	if failed {
+		h = splitmix(h ^ 0xdead)
+	}
+	r.Fingerprint = h
+}
+
+// Run executes the checking campaign: first the mandatory coverage sweep
+// (every kernel × every backend at least once, one differential check of
+// each kind), then seeded random scenarios — raw memory-operation
+// fuzzing, kernel runs, and differentials — until the budget is spent.
+// Failing scenarios are shrunk to minimal reproducers in the report.
+func (c *Checker) Run(cfg Config) *Report {
+	if len(cfg.Kernels) == 0 {
+		cfg.Kernels = kernels.Names
+	}
+	rep := &Report{Coverage: map[string]int{}}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	start := time.Now()
+	seedAt := func(i int) uint64 { return splitmix(cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15) }
+	expired := func() bool {
+		return cfg.Duration > 0 && time.Since(start) >= cfg.Duration
+	}
+
+	// Phase 1: mandatory kernel × backend sweep. Fault kinds, workers
+	// and epochs rotate deterministically so the sweep alone touches
+	// every shape at least somewhere.
+	ordinal := 0
+	for ki, kernel := range cfg.Kernels {
+		for bi, backend := range Backends {
+			sc := KernelScenario{
+				Kernel:  kernel,
+				Backend: backend,
+				Workers: 1 + (ki+bi)%2, // alternate serial and speculative
+				Seed:    seedAt(ordinal),
+			}
+			sc.Fault = c.rotateFault(sc, ki+bi)
+			c.check(rep, kernelRepro(sc), sc.String())
+			ordinal++
+		}
+		progress("sweep %d/%d: %s ok (%d scenarios)", ki+1, len(cfg.Kernels), kernel, rep.Scenarios)
+	}
+	// One differential of each kind on cheap dense kernels.
+	diffBase := KernelScenario{Kernel: "tmm", Backend: BackendGlobalArray,
+		Fault: faultsim.MidKernelCrash, Seed: seedAt(ordinal)}
+	c.check(rep, Repro{Family: FamilyDiffWorkers, Kernel: &diffBase, DiffWorkers: 4}, "diff-workers "+diffBase.String())
+	storesBase := KernelScenario{Kernel: "spmv",
+		Fault: faultsim.PartialEviction, Seed: seedAt(ordinal + 1)}
+	c.check(rep, Repro{Family: FamilyDiffStores, Kernel: &storesBase}, "diff-stores "+storesBase.String())
+	epBase := KernelScenario{Kernel: "tmm",
+		Fault: faultsim.TornWriteback, Seed: seedAt(ordinal + 2)}
+	c.check(rep, Repro{Family: FamilyDiffEP, Kernel: &epBase}, "diff-ep "+epBase.String())
+	ordinal += 3
+	progress("coverage sweep done: %d scenarios, %d failures", rep.Scenarios, len(rep.Failures))
+
+	// Phase 2: seeded random scenarios up to the budget, weighted toward
+	// the cheap raw-memory family.
+	for rep.Scenarios < cfg.N && !expired() {
+		seed := seedAt(ordinal)
+		switch p := splitmix(seed) % 100; {
+		case p < 65 || cfg.PlantDrop > 0:
+			// With a planted bug armed, everything funnels into the
+			// family that can catch it fastest.
+			n := 24 + int(splitmix(seed^1)%96)
+			sc := GenMemOps(seed, n)
+			sc.PlantDrop = cfg.PlantDrop
+			c.check(rep, memopsRepro(sc), fmt.Sprintf("memops seed=%#x n=%d", seed, n))
+		case p < 88:
+			sc := c.randomKernelScenario(cfg, seed)
+			c.check(rep, kernelRepro(sc), sc.String())
+		default:
+			r, label := c.randomDiff(cfg, seed)
+			c.check(rep, r, label)
+		}
+		ordinal++
+		if rep.Scenarios%50 == 0 {
+			progress("%d scenarios (%d memops, %d kernel, %d diff), %d failures",
+				rep.Scenarios, rep.MemOps, rep.Kernel, rep.Diff, len(rep.Failures))
+		}
+	}
+	return rep
+}
+
+// rotateFault picks a deterministic fault kind for the sweep, skipping
+// kinds the (kernel, backend) pair cannot decide.
+func (c *Checker) rotateFault(sc KernelScenario, i int) faultsim.Kind {
+	kinds := faultsim.AllKinds()
+	for off := 0; off < len(kinds); off++ {
+		k := kinds[(i+off)%len(kinds)]
+		if sc.Backend == BackendEP {
+			if epEligible(sc.Kernel, k) {
+				return k
+			}
+			continue
+		}
+		if faultsim.Applicable(sc.Kernel, k) {
+			return k
+		}
+	}
+	return faultsim.CleanCrash
+}
+
+func (c *Checker) randomKernelScenario(cfg Config, seed uint64) KernelScenario {
+	pick := func(n uint64, mod int) int { return int(splitmix(seed^n) % uint64(mod)) }
+	sc := KernelScenario{
+		Kernel:  cfg.Kernels[pick(2, len(cfg.Kernels))],
+		Backend: Backends[pick(3, len(Backends))],
+		Workers: []int{1, 1, 2, 4}[pick(4, 4)],
+		Seed:    seed,
+	}
+	sc.Fault = c.rotateFault(sc, pick(5, 6))
+	// Occasional two-epoch scenarios on idempotent kernels probe
+	// mid-epoch crashes against stale prior-epoch checksums.
+	if sc.Backend != BackendEP && pick(6, 10) == 0 &&
+		faultsim.Applicable(sc.Kernel, faultsim.DataBitFlips) {
+		sc.Epochs = 2
+	}
+	return sc
+}
+
+func (c *Checker) randomDiff(cfg Config, seed uint64) (Repro, string) {
+	pick := func(n uint64, mod int) int { return int(splitmix(seed^n) % uint64(mod)) }
+	dense := denseOf(cfg.Kernels)
+	if len(dense) == 0 {
+		dense = []string{"tmm"}
+	}
+	sc := KernelScenario{
+		Kernel: dense[pick(2, len(dense))],
+		Fault:  diffFaults[pick(3, len(diffFaults))],
+		Seed:   seed,
+	}
+	switch pick(4, 3) {
+	case 0:
+		sc.Backend = BackendGlobalArray
+		return Repro{Family: FamilyDiffWorkers, Kernel: &sc, DiffWorkers: []int{2, 4, 8}[pick(5, 3)]},
+			"diff-workers " + sc.String()
+	case 1:
+		return Repro{Family: FamilyDiffStores, Kernel: &sc}, "diff-stores " + sc.String()
+	default:
+		return Repro{Family: FamilyDiffEP, Kernel: &sc}, "diff-ep " + sc.String()
+	}
+}
+
+func denseOf(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if faultsim.Applicable(n, faultsim.DataBitFlips) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// check runs one reproducer, accounts it, and shrinks it on failure.
+func (c *Checker) check(rep *Report, r Repro, label string) {
+	err := c.RunRepro(r)
+	rep.Scenarios++
+	switch r.Family {
+	case FamilyMemOps:
+		rep.MemOps++
+	case FamilyKernel:
+		rep.Kernel++
+		rep.Coverage[r.Kernel.Kernel+"/"+r.Kernel.Backend]++
+	default:
+		rep.Diff++
+		if r.Kernel != nil {
+			rep.Coverage[r.Kernel.Kernel+"/"+r.Family]++
+		}
+	}
+	rep.fold(label, err != nil)
+	if err == nil {
+		return
+	}
+	rep.Failures = append(rep.Failures, Failure{
+		Scenario: label,
+		Err:      err.Error(),
+		Repro:    c.Shrink(r),
+	})
+}
+
+// Shrink minimizes a failing reproducer (returns it unchanged when it
+// does not actually fail, or when its family has no shrinker).
+func (c *Checker) Shrink(r Repro) Repro {
+	switch r.Family {
+	case FamilyMemOps:
+		sc := ShrinkMemOps(*r.MemOps)
+		return memopsRepro(sc)
+	case FamilyKernel:
+		sc := c.shrinkKernel(*r.Kernel)
+		return kernelRepro(sc)
+	}
+	return r
+}
+
+// shrinkKernel reduces a failing kernel scenario along its pinnable
+// axes: serial execution, a single epoch, the earliest reproducing
+// crash point, the fewest reproducing bit flips.
+func (c *Checker) shrinkKernel(sc KernelScenario) KernelScenario {
+	fails := func(s KernelScenario) bool { return c.RunKernel(s) != nil }
+	if !fails(sc) {
+		return sc
+	}
+	if sc.Workers > 1 {
+		cand := sc
+		cand.Workers = 1
+		if fails(cand) {
+			sc = cand
+		}
+	}
+	if sc.Epochs > 1 {
+		cand := sc
+		cand.Epochs = 0
+		if fails(cand) {
+			sc = cand
+		}
+	}
+	if sc.Fault == faultsim.MidKernelCrash {
+		for _, after := range []int{1, 2, 4, 8, 16} {
+			cand := sc
+			cand.AfterBlocks = after
+			if fails(cand) {
+				sc = cand
+				break
+			}
+		}
+	}
+	if sc.Fault == faultsim.DataBitFlips || sc.Fault == faultsim.StoreBitFlips {
+		cand := sc
+		cand.Flips = 1
+		if fails(cand) {
+			sc = cand
+		}
+	}
+	return sc
+}

@@ -1,0 +1,114 @@
+// Differential checks: the same seeded scenario executed under two
+// design points must land on identical persistent contents. These are
+// the properties that make the checker transferable — they hold
+// regardless of which implementation detail is wrong, because both runs
+// share it only if it is deterministic and persistency-correct.
+package persistcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"gpulp/internal/faultsim"
+)
+
+// diffFaults are the fault kinds used for differential runs: shapes
+// recovery must always repair, so every variant is required to succeed
+// (typed errors would make "identical contents" vacuous).
+var diffFaults = []faultsim.Kind{
+	faultsim.CleanCrash, faultsim.MidKernelCrash,
+	faultsim.PartialEviction, faultsim.TornWriteback,
+}
+
+// RunDiffWorkers checks host-parallel determinism end to end: the same
+// scenario at Workers=1 and Workers=w must produce the identical durable
+// image at the crash instant AND identical recovered outputs. This is
+// the persistency half of the speculative engine's determinism contract.
+func (c *Checker) RunDiffWorkers(sc KernelScenario, w int) error {
+	if w < 2 {
+		w = 2
+	}
+	serial := sc
+	serial.Workers = 1
+	parallel := sc
+	parallel.Workers = w
+	a, err := c.runKernel(serial)
+	if err != nil {
+		return err
+	}
+	b, err := c.runKernel(parallel)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a.postCrash, b.postCrash) {
+		return fmt.Errorf("persistcheck: %v: post-crash durable image differs between Workers=1 and Workers=%d", sc, w)
+	}
+	return diffOutputs(fmt.Sprintf("%v vs Workers=%d", sc, w), a, b)
+}
+
+// RunDiffStores checks that every checksum-store backend recovers the
+// same scenario to identical output contents: the store is recovery
+// metadata, and metadata organization must never leak into data.
+func (c *Checker) RunDiffStores(sc KernelScenario) error {
+	var ref *runArtifacts
+	refBackend := ""
+	for _, backend := range []string{BackendQuad, BackendCuckoo, BackendChained, BackendGlobalArray} {
+		v := sc
+		v.Backend = backend
+		art, err := c.runKernel(v)
+		if err != nil {
+			return err
+		}
+		if art.typedErr {
+			return fmt.Errorf("persistcheck: %v: recovery gave up (%s) on a repairable fault", v, art.errText)
+		}
+		if ref == nil {
+			ref, refBackend = art, backend
+			continue
+		}
+		if err := diffOutputs(fmt.Sprintf("%v: %s vs %s", sc, refBackend, backend), ref, art); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunDiffEP checks LP against the Eager Persistency baseline: two
+// entirely different persistency mechanisms (checksum validation + re-
+// execution vs redo-log replay) must converge on identical outputs.
+func (c *Checker) RunDiffEP(sc KernelScenario) error {
+	if !epEligible(sc.Kernel, sc.Fault) {
+		return fmt.Errorf("persistcheck: %v: fault kind not checkable under EP", sc)
+	}
+	lpv := sc
+	lpv.Backend = BackendGlobalArray
+	epv := sc
+	epv.Backend = BackendEP
+	a, err := c.runKernel(lpv)
+	if err != nil {
+		return err
+	}
+	if a.typedErr {
+		return fmt.Errorf("persistcheck: %v: LP recovery gave up (%s) on a repairable fault", lpv, a.errText)
+	}
+	b, err := c.runKernel(epv)
+	if err != nil {
+		return err
+	}
+	return diffOutputs(fmt.Sprintf("%v: LP vs EP", sc), a, b)
+}
+
+func diffOutputs(label string, a, b *runArtifacts) error {
+	if a.typedErr != b.typedErr {
+		return fmt.Errorf("persistcheck: %s: one variant recovered, the other gave up (%s%s)", label, a.errText, b.errText)
+	}
+	if len(a.outputs) != len(b.outputs) {
+		return fmt.Errorf("persistcheck: %s: output region count differs: %d vs %d", label, len(a.outputs), len(b.outputs))
+	}
+	for i := range a.outputs {
+		if !bytes.Equal(a.outputs[i], b.outputs[i]) {
+			return fmt.Errorf("persistcheck: %s: recovered contents of output region %d differ", label, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Raw memory-operation fuzzing: the cheapest scenario family. A small
+// cache over two regions is driven through a generated sequence of
+// stores, loads, flushes, host writes, media faults, and crashes, with
+// the oracle checked after every operation — so a persistency bug is
+// localized to the exact operation that exposed it, and the shrinker can
+// cut everything after it before minimizing what remains.
+package persistcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpulp/internal/memsim"
+)
+
+// Op names for MemOp.Op. String-typed for readable corpus files.
+const (
+	OpStore     = "store"     // cached 64-bit store (dirties a line)
+	OpLoad      = "load"      // cached load (fills, may evict)
+	OpFlush     = "flush"     // flush the line holding one element
+	OpFlushAll  = "flushall"  // flush every dirty line
+	OpHostWrite = "hostwrite" // direct durable write, cache invalidated
+	OpFlip      = "flip"      // single-bit NVM media error
+	OpPartial   = "partial"   // seeded partial crash (eviction subset, tearing)
+	OpCrash     = "crash"     // clean power failure
+)
+
+// MemOp is one step of a memory-operation scenario.
+type MemOp struct {
+	Op string `json:"op"`
+	// Reg selects the target region (0 = data, 1 = aux).
+	Reg int `json:"reg,omitempty"`
+	// Idx is the 64-bit element index within the region.
+	Idx int    `json:"idx,omitempty"`
+	Val uint64 `json:"val,omitempty"`
+	// Bit is the flipped bit for OpFlip (0-7 within the element's first
+	// byte).
+	Bit uint8 `json:"bit,omitempty"`
+	// Seed drives OpPartial's eviction subset and tearing.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// MemOpsScenario is a replayable raw-memory scenario.
+type MemOpsScenario struct {
+	// Seed records the generator seed (informational once Ops exist).
+	Seed uint64 `json:"seed"`
+	// PlantDrop arms memsim's planted persistency bug: the nth
+	// write-back is silently dropped. The checker must catch it.
+	PlantDrop int     `json:"plant_drop,omitempty"`
+	Ops       []MemOp `json:"ops"`
+}
+
+// memops platform: a deliberately tiny cache (16 lines over two regions
+// spanning 80 lines) so ordinary stores cause constant natural eviction
+// — the write-back path is the one under audit.
+func memopsConfig() memsim.Config {
+	return memsim.Config{
+		LineSize:        64,
+		CacheBytes:      64 * 4 * 4, // 4 sets, 4 ways
+		Ways:            4,
+		NVMReadNS:       160,
+		NVMWriteNS:      480,
+		NVMBandwidthGBs: 326.4,
+	}
+}
+
+const (
+	memopsDataWords = 512 // 4 KiB data region
+	memopsAuxWords  = 128 // 1 KiB aux region
+)
+
+func memopsWords(reg int) int {
+	if reg%2 == 0 {
+		return memopsDataWords
+	}
+	return memopsAuxWords
+}
+
+// RunMemOps replays a scenario, returning the first oracle violation
+// (nil when the scenario upholds the persistency contract).
+func RunMemOps(sc MemOpsScenario) error {
+	_, err := runMemOpsIndexed(sc)
+	return err
+}
+
+// runMemOpsIndexed additionally reports the index of the first failing
+// operation (len(Ops) for the final-crash check) for the shrinker.
+func runMemOpsIndexed(sc MemOpsScenario) (failAt int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("persistcheck: memops panic: %v", r)
+		}
+	}()
+	mem := memsim.MustNew(memopsConfig())
+	regs := [2]memsim.Region{
+		mem.Alloc("data", memopsDataWords*8),
+		mem.Alloc("aux", memopsAuxWords*8),
+	}
+	if sc.PlantDrop > 0 {
+		mem.PlantDropWriteBack(sc.PlantDrop)
+	}
+	o := AttachOracle(mem)
+	defer o.Detach()
+	for i, op := range sc.Ops {
+		applyMemOp(mem, regs, op)
+		if err := o.Check(); err != nil {
+			return i, fmt.Errorf("op %d %q: %w", i, op.Op, err)
+		}
+	}
+	mem.Crash()
+	if err := o.Check(); err != nil {
+		return len(sc.Ops), fmt.Errorf("after final crash: %w", err)
+	}
+	return -1, nil
+}
+
+func applyMemOp(mem *memsim.Memory, regs [2]memsim.Region, op MemOp) {
+	r := regs[op.Reg%2]
+	idx := op.Idx % memopsWords(op.Reg)
+	if idx < 0 {
+		idx = 0
+	}
+	switch op.Op {
+	case OpStore:
+		r.StoreU64(memsim.AccessData, idx, op.Val)
+	case OpLoad:
+		r.LoadU64(memsim.AccessData, idx)
+	case OpFlush:
+		mem.FlushAddr(r.Base + uint64(idx)*8)
+	case OpFlushAll:
+		mem.FlushAll()
+	case OpHostWrite:
+		r.HostPutU64(idx, op.Val)
+	case OpFlip:
+		mem.FlipBit(r.Base+uint64(idx)*8, op.Bit)
+	case OpPartial:
+		rng := rand.New(rand.NewSource(int64(op.Seed)))
+		mem.PartialCrash(rng, memsim.CrashProfile{
+			EvictFrac: 0.2 + 0.6*rng.Float64(),
+			TornFrac:  0.5 * rng.Float64(),
+		})
+	case OpCrash:
+		mem.Crash()
+	default:
+		panic(fmt.Sprintf("persistcheck: unknown mem op %q", op.Op))
+	}
+}
+
+// GenMemOps generates a seeded scenario of n operations, weighted toward
+// stores (the cache must churn for write-backs to happen) with a tail of
+// every fault shape.
+func GenMemOps(seed uint64, n int) MemOpsScenario {
+	rng := rand.New(rand.NewSource(int64(splitmix(seed))))
+	sc := MemOpsScenario{Seed: seed, Ops: make([]MemOp, 0, n)}
+	for i := 0; i < n; i++ {
+		op := MemOp{Reg: rng.Intn(2), Idx: rng.Intn(memopsDataWords), Val: rng.Uint64()}
+		switch p := rng.Intn(100); {
+		case p < 45:
+			op.Op = OpStore
+		case p < 60:
+			op.Op = OpLoad
+		case p < 70:
+			op.Op = OpFlush
+		case p < 75:
+			op.Op = OpFlushAll
+		case p < 85:
+			op.Op = OpHostWrite
+		case p < 91:
+			op.Op = OpFlip
+			op.Bit = uint8(rng.Intn(8))
+		case p < 96:
+			op.Op = OpPartial
+			op.Seed = rng.Uint64()
+		default:
+			op.Op = OpCrash
+		}
+		sc.Ops = append(sc.Ops, op)
+	}
+	return sc
+}
+
+// ShrinkMemOps minimizes a failing scenario: truncate to the prefix
+// ending at the first failing operation, then repeatedly delete single
+// operations (scanning back to front) as long as the failure reproduces.
+// Returns the smallest still-failing scenario found.
+func ShrinkMemOps(sc MemOpsScenario) MemOpsScenario {
+	failAt, err := runMemOpsIndexed(sc)
+	if err == nil {
+		return sc // not failing; nothing to shrink
+	}
+	if failAt >= 0 && failAt < len(sc.Ops) {
+		sc.Ops = sc.Ops[:failAt+1]
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(sc.Ops) - 1; i >= 0; i-- {
+			cand := sc
+			cand.Ops = make([]MemOp, 0, len(sc.Ops)-1)
+			cand.Ops = append(cand.Ops, sc.Ops[:i]...)
+			cand.Ops = append(cand.Ops, sc.Ops[i+1:]...)
+			if _, err := runMemOpsIndexed(cand); err != nil {
+				sc = cand
+				changed = true
+			}
+		}
+	}
+	return sc
+}
+
+// splitmix advances a SplitMix64 state — the seed-derivation mixer used
+// throughout the checker so every scenario is reproducible from (seed,
+// ordinal) alone.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
