@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test tier1 race race-parallel matrix smoke campaign persistcheck-smoke persistcheck-soak bench ci
+.PHONY: all vet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign persistcheck-smoke persistcheck-soak bench ci
 
 all: ci
 
@@ -44,6 +44,18 @@ smoke:
 campaign:
 	$(GO) run ./cmd/lpfault -seeds 12
 
+# scrub-smoke: a quick media-error rate sweep against the self-healing
+# recovery orchestrator (scrub, quarantine, watchdog). Exits non-zero on
+# any dishonest outcome (lying heal, untyped error, panic).
+scrub-smoke:
+	$(GO) run ./cmd/lpfault -ratesweep -seeds 3
+
+# scrub-campaign: the fuller sweep from EXPERIMENTS.md, including the
+# spin-lock/stuck-cell configuration.
+scrub-campaign:
+	$(GO) run ./cmd/lpfault -ratesweep -seeds 8
+	$(GO) run ./cmd/lpfault -ratesweep -seeds 8 -locks -rates 0.05,0.2,0.4 -stuckfrac 0.5
+
 # persistcheck-smoke: the crash-consistency model checker at a fixed seed
 # and small budget (the kernel × backend coverage sweep always runs in
 # full). Exits non-zero on any persistency contract violation.
@@ -60,4 +72,4 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	BENCH_JSON=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -v .
 
-ci: vet build race race-parallel matrix smoke persistcheck-smoke
+ci: vet build race race-parallel matrix smoke scrub-smoke persistcheck-smoke

@@ -32,7 +32,7 @@ func main() {
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = *cache
 	mem := memsim.MustNew(memCfg)
-	dev := gpusim.NewDevice(gpusim.DefaultConfig(), mem)
+	dev := gpusim.MustNew(gpusim.DefaultConfig(), mem)
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

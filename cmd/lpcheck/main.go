@@ -92,8 +92,8 @@ func main() {
 }
 
 func printReport(rep *persistcheck.Report, elapsed time.Duration) {
-	fmt.Printf("lpcheck: %d scenarios in %v (%d memops, %d kernel, %d diff), fingerprint %#x\n",
-		rep.Scenarios, elapsed, rep.MemOps, rep.Kernel, rep.Diff, rep.Fingerprint)
+	fmt.Printf("lpcheck: %d scenarios in %v (%d memops, %d kernel, %d diff, %d scrub), fingerprint %#x\n",
+		rep.Scenarios, elapsed, rep.MemOps, rep.Kernel, rep.Diff, rep.Scrub, rep.Fingerprint)
 	pairs := make([]string, 0, len(rep.Coverage))
 	for k := range rep.Coverage {
 		pairs = append(pairs, k)

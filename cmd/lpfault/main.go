@@ -7,9 +7,17 @@
 // Any mismatch or panic fails the campaign (non-zero exit) and is
 // minimized to its smallest reproducing case.
 //
+// With -ratesweep it instead arms memsim's online media-error process at
+// a swept per-write fault rate and drives the self-healing recovery
+// orchestrator (ECC scrub, retrying quarantine, kernel watchdog),
+// reporting per-rate recovery success, scrub heal rate, quarantined bytes
+// and the degraded-coverage curve.
+//
 //	lpfault -seeds 12                      # 204-case default campaign
 //	lpfault -kernels tmm -kinds mid-kernel # one cell of the sweep
 //	lpfault -repro '{"kernel":"tmm","kind":"mid-kernel","seed":12345}'
+//	lpfault -ratesweep -json               # media-error rate sweep
+//	lpfault -ratesweep -rates 0.01,0.1 -stuckfrac 0.2 -locks
 package main
 
 import (
@@ -36,6 +44,13 @@ func main() {
 		progress  = flag.Bool("progress", false, "print each case as it completes")
 		parallel  = flag.Int("parallel", 1, "host goroutines running campaign cases concurrently (the report is bit-identical at any value)")
 		repro     = flag.String("repro", "", "re-run a single case from its reported JSON instead of a campaign")
+
+		rateSweep = flag.Bool("ratesweep", false, "run the media-error rate sweep (self-healing recovery) instead of the crash-shape campaign")
+		rates     = flag.String("rates", "0.002,0.01,0.05,0.2", "comma-separated per-write transient fault rates to sweep")
+		stuckFrac = flag.Float64("stuckfrac", 0.1, "fraction of each rate that is permanent stuck-at faults")
+		locks     = flag.Bool("locks", false, "guard each block behind a spin lock so stuck lock cells exercise the kernel watchdog")
+		watchdog  = flag.Int64("watchdog", 2_000_000, "kernel watchdog step budget for the rate sweep (0 disables)")
+		attempts  = flag.Int("attempts", 4, "self-heal attempts per rate-sweep case")
 	)
 	flag.Parse()
 
@@ -46,6 +61,11 @@ func main() {
 
 	if *repro != "" {
 		reproduce(opt, *repro, *jsonOut)
+		return
+	}
+	if *rateSweep {
+		runRateSweep(opt, *rates, *stuckFrac, *locks, *watchdog, *attempts,
+			*seeds, *baseSeed, *parallel, *progress, *jsonOut)
 		return
 	}
 
@@ -114,6 +134,49 @@ func reproduce(opt faultsim.Options, caseJSON string, jsonOut bool) {
 		}
 	}
 	if res.Outcome.Failed() {
+		os.Exit(1)
+	}
+}
+
+// runRateSweep executes the media-error rate sweep and renders or
+// JSON-encodes its report; any contract violation exits non-zero.
+func runRateSweep(opt faultsim.Options, rateList string, stuckFrac float64, locks bool,
+	watchdog int64, attempts, seeds int, baseSeed uint64, parallel int, progress, jsonOut bool) {
+	s := faultsim.DefaultRateSweep(seeds)
+	s.Opt = opt
+	s.StuckFrac = stuckFrac
+	s.Locks = locks
+	s.WatchdogSteps = watchdog
+	s.MaxAttempts = attempts
+	s.BaseSeed = baseSeed
+	s.Parallel = parallel
+	s.Rates = nil
+	for _, p := range splitList(rateList) {
+		var r float64
+		if _, err := fmt.Sscanf(p, "%g", &r); err != nil {
+			fatal(fmt.Errorf("bad -rates entry %q: %w", p, err))
+		}
+		s.Rates = append(s.Rates, r)
+	}
+	if progress {
+		s.Progress = func(done, total int, r faultsim.RateResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] rate=%v seed=%#x -> %v\n", done, total, r.Rate, r.Seed, r.Outcome)
+		}
+	}
+	rep, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if rep.Failed() {
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@ package gpulp_test
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -35,7 +36,7 @@ func runWorkload(t *testing.T, name string, workers int, lpCfg *core.Config) ker
 	mem := memsim.MustNew(memsim.DefaultConfig())
 	devCfg := gpusim.DefaultConfig()
 	devCfg.Workers = workers
-	dev := gpusim.NewDevice(devCfg, mem)
+	dev := gpusim.MustNew(devCfg, mem)
 	w := kernels.New(name, 1)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
@@ -152,7 +153,7 @@ func runRecovery(t *testing.T, workers int) recoveryRun {
 	mem := memsim.MustNew(memsim.DefaultConfig())
 	devCfg := gpusim.DefaultConfig()
 	devCfg.Workers = workers
-	dev := gpusim.NewDevice(devCfg, mem)
+	dev := gpusim.MustNew(devCfg, mem)
 	w := kernels.New("tmm", 1)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
@@ -208,5 +209,130 @@ func TestParallelDeterminismFaultCampaign(t *testing.T) {
 	parallel := run(detWorkers)
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Errorf("campaign reports diverged\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// selfHealRun captures every observable output of one self-healing
+// recovery under the online media-error process: the heal report (with
+// its quarantine sets), the typed degraded outcome, and the durable image.
+type selfHealRun struct {
+	rep core.HealReport
+	deg *core.DegradedError
+	nvm []byte
+}
+
+func runSelfHeal(t *testing.T, workers int) selfHealRun {
+	t.Helper()
+	mcfg := memsim.DefaultConfig()
+	mcfg.CacheBytes = 256 << 10
+	mcfg.Fault = memsim.FaultConfig{Enabled: true, Seed: 77, TransientPerWrite: 0.05, StuckPerWrite: 0.01}
+	mem := memsim.MustNew(mcfg)
+	dcfg := gpusim.DefaultConfig()
+	dcfg.Workers = workers
+	dcfg.WatchdogSteps = 50_000
+	dev := gpusim.MustNew(dcfg, mem)
+
+	grid, blk := gpusim.D1(32), gpusim.D1(64)
+	n := grid.Size() * blk.Size()
+	locks := dev.Alloc("locks", grid.Size()*8)
+	out := dev.Alloc("out", n*4)
+	locks.HostZero()
+	out.HostZero()
+	lp := core.New(dev, core.DefaultConfig(), grid, blk)
+	kernel := func(b *gpusim.Block) {
+		b.ForAll(func(th *gpusim.Thread) {
+			if th.Linear == 0 {
+				for th.AtomicCASU64(locks, b.LinearIdx, 0, 1) != 0 {
+					th.Op(1)
+				}
+			}
+		})
+		r := lp.Begin(b)
+		b.ForAll(func(th *gpusim.Thread) {
+			gid := th.GlobalLinear()
+			v := uint32(gid)*2654435761 + 12345
+			th.StoreU32(out, gid, v)
+			r.Update(th, v)
+		})
+		b.ForAll(func(th *gpusim.Thread) {
+			if th.Linear == 0 {
+				th.AtomicExchU64(locks, b.LinearIdx, 0)
+			}
+		})
+		r.Commit()
+	}
+	recompute := func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(th *gpusim.Thread) {
+			r.Update(th, th.LoadU32(out, th.GlobalLinear()))
+		})
+	}
+
+	// A planted stuck-at pins block 9's lock word "held": re-execution
+	// livelocks and the watchdog must abort it identically in both engines.
+	mem.PlantStuckAt(locks.Base+9*8, 0, 1)
+	res := dev.Launch("lockfill", grid, blk, kernel)
+	if res.Watchdog == nil {
+		mem.Crash()
+	}
+	rep, err := lp.SelfHeal(kernel, recompute, core.HealOpts{
+		MaxAttempts: 5,
+		RegionOf: func(line uint64) int {
+			if line < out.Base || line >= out.Base+uint64(n*4) {
+				return -1
+			}
+			return int(line-out.Base) / (blk.Size() * 4)
+		},
+	})
+	var deg *core.DegradedError
+	if err != nil && !errors.As(err, &deg) {
+		t.Fatalf("workers=%d: self-heal failed: %v", workers, err)
+	}
+	return selfHealRun{rep: rep, deg: deg, nvm: mem.NVMImage()}
+}
+
+// TestParallelDeterminismSelfHeal drives the full self-healing stack —
+// online media-error process, ECC scrubs, watchdog-aborted re-execution,
+// quarantine — under both engines and asserts bit-identical heal reports,
+// quarantine sets, typed degraded outcomes, and durable images.
+func TestParallelDeterminismSelfHeal(t *testing.T) {
+	serial := runSelfHeal(t, 1)
+	parallel := runSelfHeal(t, detWorkers)
+	if !reflect.DeepEqual(serial.rep, parallel.rep) {
+		t.Errorf("heal reports diverged\nserial:   %+v\nparallel: %+v", serial.rep, parallel.rep)
+	}
+	if !reflect.DeepEqual(serial.deg, parallel.deg) {
+		t.Errorf("degraded outcomes diverged\nserial:   %+v\nparallel: %+v", serial.deg, parallel.deg)
+	}
+	if !bytes.Equal(serial.nvm, parallel.nvm) {
+		t.Errorf("post-heal NVM images diverged")
+	}
+	if serial.rep.WatchdogAborts == 0 {
+		t.Errorf("planted stuck lock never tripped the watchdog: %+v", serial.rep)
+	}
+}
+
+// TestParallelDeterminismRateSweep runs a reduced media-error rate sweep
+// with the simulator's parallel engine enabled under both Workers values
+// and compares the full structured reports.
+func TestParallelDeterminismRateSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate-sweep smoke test skipped in -short mode")
+	}
+	run := func(workers int) *faultsim.RateReport {
+		s := faultsim.DefaultRateSweep(2)
+		s.Rates = []float64{0.02, 0.15}
+		s.StuckFrac = 0.3
+		s.Blocks, s.BlockThreads = 16, 32
+		s.Opt.Dev.Workers = workers
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: rate sweep failed: %v", workers, err)
+		}
+		return rep
+	}
+	serial := run(1)
+	parallel := run(detWorkers)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("rate-sweep reports diverged\nserial:   %+v\nparallel: %+v", serial, parallel)
 	}
 }

@@ -30,7 +30,7 @@ const (
 func main() {
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = 32 << 10
-	dev, mem := gpusim.NewDevice(gpusim.DefaultConfig(), memsim.MustNew(memCfg)), (*memsim.Memory)(nil)
+	dev, mem := gpusim.MustNew(gpusim.DefaultConfig(), memsim.MustNew(memCfg)), (*memsim.Memory)(nil)
 	mem = dev.Mem()
 
 	bufs := [2]memsim.Region{

@@ -28,7 +28,7 @@ const (
 func main() {
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = 128 << 10 // small cache so the crash is partial
-	dev := gpusim.NewDevice(gpusim.DefaultConfig(), memsim.MustNew(memCfg))
+	dev := gpusim.MustNew(gpusim.DefaultConfig(), memsim.MustNew(memCfg))
 
 	store := megakv.NewStore(dev, numOps)
 	keys := dev.Alloc("keys", numOps*8)

@@ -27,7 +27,7 @@ func main() {
 	fmt.Println()
 
 	// Baseline: no persistency support at all.
-	devBase := gpusim.NewDevice(gpusim.DefaultConfig(), memsim.MustNew(memsim.DefaultConfig()))
+	devBase := gpusim.MustNew(gpusim.DefaultConfig(), memsim.MustNew(memsim.DefaultConfig()))
 	wb := kernels.New("tmm", 1)
 	wb.Setup(devBase)
 	grid, blk := wb.Geometry()
@@ -39,7 +39,7 @@ func main() {
 
 	// The design-space walk of §IV: same kernel, three checksum stores.
 	for _, store := range []hashtab.Kind{hashtab.Quad, hashtab.Cuckoo, hashtab.GlobalArray} {
-		dev := gpusim.NewDevice(gpusim.DefaultConfig(), memsim.MustNew(memsim.DefaultConfig()))
+		dev := gpusim.MustNew(gpusim.DefaultConfig(), memsim.MustNew(memsim.DefaultConfig()))
 		w := kernels.New("tmm", 1)
 		w.Setup(dev)
 		cfg := core.DefaultConfig()
@@ -60,7 +60,7 @@ func main() {
 	fmt.Println("\ndirective-style (LP.Instrument) run with crash recovery:")
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = 32 << 10 // small cache: the crash bites, but only partially
-	dev := gpusim.NewDevice(gpusim.DefaultConfig(), memsim.MustNew(memCfg))
+	dev := gpusim.MustNew(gpusim.DefaultConfig(), memsim.MustNew(memCfg))
 
 	const n, tile = 128, 8
 	a := dev.Alloc("A", n*n*4)

@@ -25,7 +25,7 @@ func main() {
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = 64 << 10
 	mem := memsim.MustNew(memCfg)
-	dev := gpusim.NewDevice(gpusim.DefaultConfig(), mem)
+	dev := gpusim.MustNew(gpusim.DefaultConfig(), mem)
 
 	// Fig. 2 from the paper: floats are checksummed via their bit pattern.
 	fmt.Printf("FloatBits(3.5) = %d (paper Fig. 2: 1080033280)\n\n", checksum.FloatBits(3.5))

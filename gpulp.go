@@ -101,7 +101,7 @@ func DefaultLPConfig() LPConfig { return core.DefaultConfig() }
 // NewSystem builds a simulated GPU over a fresh NVM-backed memory.
 func NewSystem(dev DeviceConfig, mem MemoryConfig) (*Device, *Memory) {
 	m := memsim.MustNew(mem)
-	return gpusim.NewDevice(dev, m), m
+	return gpusim.MustNew(dev, m), m
 }
 
 // NewDefaultSystem builds a system with the default configurations.

@@ -98,7 +98,7 @@ func TestIterativeRecoveryAcrossEpochs(t *testing.T) {
 	memCfg.CacheBytes = 16 << 10
 	cfg := gpusim.DefaultConfig()
 	cfg.NumSMs = 8
-	dev := gpusim.NewDevice(cfg, memsim.MustNew(memCfg))
+	dev := gpusim.MustNew(cfg, memsim.MustNew(memCfg))
 	bufs := [2]memsim.Region{dev.Alloc("a", n*n*4), dev.Alloc("b", n*n*4)}
 	init := make([]float32, n*n)
 	for y := 0; y < n; y++ {

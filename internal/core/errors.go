@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Typed recovery errors. Recovery paths return these (wrapped with
 // context) instead of panicking, so fault-injection campaigns and
@@ -17,11 +20,42 @@ var (
 	// lookups validation needs — its organization does not support the
 	// configured region fusion, or its contents are uninterpretable.
 	ErrStoreCorrupt = errors.New("checksum store corrupt or unusable")
+
+	// ErrDegraded reports that self-healing recovery completed — every
+	// still-healthy region validates — but some regions were quarantined
+	// (permanently uncorrectable media, or blocks the watchdog had to
+	// abort) and their results are excluded. The run keeps serving at the
+	// reported coverage instead of failing outright.
+	ErrDegraded = errors.New("persistent state degraded: quarantined regions excluded")
 )
 
+// DegradedError is the typed ErrDegraded result of self-healing recovery:
+// the surviving regions are valid, the listed ones are quarantined.
+type DegradedError struct {
+	// Coverage is the fraction of LP regions still served (0..1),
+	// 1 - quarantined/total.
+	Coverage float64
+	// Regions lists the quarantined LP region indices in ascending order.
+	Regions []int
+	// Lines lists the uncorrectable NVM line addresses behind the
+	// quarantine (from the final scrub sweep), in ascending order.
+	Lines []uint64
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("core: degraded completion: %d regions quarantined (coverage %.4f, %d uncorrectable lines): %v",
+		len(e.Regions), e.Coverage, len(e.Lines), ErrDegraded)
+}
+
+// Unwrap ties every DegradedError to the ErrDegraded sentinel.
+func (e *DegradedError) Unwrap() error { return ErrDegraded }
+
 // IsTypedRecoveryError reports whether err is (or wraps) one of the
-// typed recovery errors — the honest "damage beyond repair" outcomes a
-// fault campaign accepts, as opposed to a programming error.
+// typed recovery errors — the honest "damage beyond repair" (or
+// "serving degraded") outcomes a fault campaign accepts, as opposed to a
+// programming error.
 func IsTypedRecoveryError(err error) bool {
-	return errors.Is(err, ErrUnrecoverable) || errors.Is(err, ErrStoreCorrupt)
+	return errors.Is(err, ErrUnrecoverable) || errors.Is(err, ErrStoreCorrupt) ||
+		errors.Is(err, ErrDegraded)
 }

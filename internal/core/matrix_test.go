@@ -46,7 +46,7 @@ func runMatrixPoint(t *testing.T, cfg Config) {
 	devCfg.NumSMs = 4
 	memCfg := memsim.DefaultConfig()
 	memCfg.CacheBytes = 64 << 10
-	dev := gpusim.NewDevice(devCfg, memsim.MustNew(memCfg))
+	dev := gpusim.MustNew(devCfg, memsim.MustNew(memCfg))
 
 	grid, blk := gpusim.D1(48), gpusim.D1(64)
 	n := grid.Size() * blk.Size()
@@ -80,7 +80,7 @@ func TestMatrixOverheadOrdering(t *testing.T) {
 	run := func(cfg Config) int64 {
 		devCfg := gpusim.DefaultConfig()
 		devCfg.NumSMs = 8
-		dev := gpusim.NewDevice(devCfg, memsim.MustNew(memsim.DefaultConfig()))
+		dev := gpusim.MustNew(devCfg, memsim.MustNew(memsim.DefaultConfig()))
 		grid, blk := gpusim.D1(512), gpusim.D1(32)
 		out := dev.Alloc("out", grid.Size()*blk.Size()*4)
 		out.HostZero()

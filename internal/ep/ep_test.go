@@ -14,7 +14,7 @@ func newTestDevice(cacheBytes int) *gpusim.Device {
 	if cacheBytes > 0 {
 		memCfg.CacheBytes = cacheBytes
 	}
-	return gpusim.NewDevice(cfg, memsim.MustNew(memCfg))
+	return gpusim.MustNew(cfg, memsim.MustNew(memCfg))
 }
 
 // fillKernel stores a deterministic value per thread.

@@ -260,7 +260,7 @@ func GoldenRun(opt Options, kernel string) (g *Golden, err error) {
 		}
 	}()
 	mem := memsim.MustNew(opt.Mem)
-	dev := gpusim.NewDevice(opt.Dev, mem)
+	dev := gpusim.MustNew(opt.Dev, mem)
 	w := kernels.New(kernel, opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
@@ -315,7 +315,7 @@ func RunCase(opt Options, c Case, golden *Golden) (res Result) {
 
 	rng := rand.New(rand.NewSource(int64(splitmix(c.Seed))))
 	mem := memsim.MustNew(opt.Mem)
-	dev := gpusim.NewDevice(opt.Dev, mem)
+	dev := gpusim.MustNew(opt.Dev, mem)
 	w := kernels.New(c.Kernel, opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()

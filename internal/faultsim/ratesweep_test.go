@@ -1,0 +1,136 @@
+package faultsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRateSweepContract runs a reduced sweep and checks the structural
+// contract: no case may lie (mismatch) or panic, every aggregate is
+// consistent with its cases, and the curve endpoints behave — a zero-rate
+// point heals everything, and success never requires corruption to go
+// unnoticed.
+func TestRateSweepContract(t *testing.T) {
+	s := DefaultRateSweep(3)
+	s.Rates = []float64{0, 0.01, 0.1}
+	s.Blocks = 16
+	s.BlockThreads = 32
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("sweep contract violated: %+v", rep.Failures)
+	}
+	if rep.Total != 9 || len(rep.Points) != 3 {
+		t.Fatalf("sweep shape: total=%d points=%d, want 9/3", rep.Total, len(rep.Points))
+	}
+	zero := rep.Points[0]
+	if zero.Healed != zero.Cases || zero.SuccessRate != 1 || zero.MeanCoverage != 1 {
+		t.Fatalf("zero-rate point not fully healed: %+v", zero)
+	}
+	for _, p := range rep.Points {
+		if p.Healed+p.Degraded+p.Unrecoverable+p.Failures != p.Cases {
+			t.Fatalf("outcome counts do not partition cases: %+v", p)
+		}
+		if p.ScrubHealRate < 0 || p.ScrubHealRate > 1 {
+			t.Fatalf("heal rate out of range: %+v", p)
+		}
+		if p.MeanCoverage < 0 || p.MeanCoverage > 1 {
+			t.Fatalf("coverage out of range: %+v", p)
+		}
+	}
+	// The swept fault process must actually have fired at the top rate.
+	top := rep.Points[2]
+	if top.MeanScrubHealed == 0 && top.MeanQuarantinedBytes == 0 {
+		t.Fatalf("top-rate point shows no media activity: %+v", top)
+	}
+}
+
+// TestRateSweepStuckQuarantines drives the stuck fraction hard enough
+// that permanent faults land under checksummed data: cases must complete
+// degraded (coverage < 1, quarantined bytes reported) rather than lie.
+func TestRateSweepStuckQuarantines(t *testing.T) {
+	s := DefaultRateSweep(4)
+	s.Rates = []float64{0.2}
+	s.StuckFrac = 0.5
+	s.Blocks = 16
+	s.BlockThreads = 32
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("sweep contract violated: %+v", rep.Failures)
+	}
+	p := rep.Points[0]
+	if p.Degraded == 0 {
+		t.Fatalf("no case degraded under heavy stuck-at faults: %+v", p)
+	}
+	if p.MeanCoverage >= 1 || p.MeanQuarantinedBytes == 0 {
+		t.Fatalf("degradation not reflected in aggregates: %+v", p)
+	}
+}
+
+// TestRateSweepLockLivelockWatchdog arms the per-block spin locks under a
+// heavy stuck rate: when a permanent fault pins a lock word, re-execution
+// livelocks and the sweep must ride the watchdog to a typed, non-hanging
+// completion. The assertion is on the contract (no hang, no panic, no
+// lie); watchdog aborts fire only when a stuck cell happens to land under
+// a lock line that re-execution reads from NVM.
+func TestRateSweepLockLivelockWatchdog(t *testing.T) {
+	s := DefaultRateSweep(4)
+	s.Rates = []float64{0.3}
+	s.StuckFrac = 0.5
+	s.Locks = true
+	s.WatchdogSteps = 100_000
+	s.Blocks = 16
+	s.BlockThreads = 32
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("sweep contract violated: %+v", rep.Failures)
+	}
+}
+
+// TestRateSweepParallelMatchesSerial: case seeds derive from sweep
+// position, every case owns a fresh simulated system, and aggregation is
+// in sweep order — Parallel=1 and Parallel=8 must produce identical
+// structured reports.
+func TestRateSweepParallelMatchesSerial(t *testing.T) {
+	run := func(parallel int) *RateReport {
+		s := DefaultRateSweep(2)
+		s.Rates = []float64{0.01, 0.08}
+		s.StuckFrac = 0.25
+		s.Blocks = 16
+		s.BlockThreads = 32
+		s.Parallel = parallel
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("sweep (parallel=%d): %v", parallel, err)
+		}
+		return rep
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("rate-sweep reports diverged\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestRateSweepRejectsBadRates: out-of-range probabilities are a typed
+// configuration error, not a panic downstream.
+func TestRateSweepRejectsBadRates(t *testing.T) {
+	s := DefaultRateSweep(1)
+	s.Rates = []float64{1.5}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+	s = DefaultRateSweep(1)
+	s.Rates = []float64{0.9}
+	s.StuckFrac = 2
+	if _, err := s.Run(); err == nil {
+		t.Fatal("stuck rate 1.8 accepted")
+	}
+}

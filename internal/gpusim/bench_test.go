@@ -54,7 +54,7 @@ func BenchmarkAtomicContention(b *testing.B) {
 		b.StopTimer()
 		cfg := DefaultConfig()
 		cfg.NumSMs = 8
-		d := NewDevice(cfg, memsim.MustNew(memsim.DefaultConfig()))
+		d := MustNew(cfg, memsim.MustNew(memsim.DefaultConfig()))
 		hot := d.Alloc("hot", 4)
 		hot.HostZero()
 		b.StartTimer()
@@ -70,7 +70,7 @@ func BenchmarkLockSerialization(b *testing.B) {
 		b.StopTimer()
 		cfg := DefaultConfig()
 		cfg.NumSMs = 8
-		d := NewDevice(cfg, memsim.MustNew(memsim.DefaultConfig()))
+		d := MustNew(cfg, memsim.MustNew(memsim.DefaultConfig()))
 		lock := d.NewLock("l")
 		b.StartTimer()
 		d.Launch("locked", D1(512), D1(32), func(blk *Block) {

@@ -75,6 +75,15 @@ type Config struct {
 	// order (see spec.go) — so Workers trades host CPU for wall-clock
 	// speed without perturbing the simulation.
 	Workers int
+	// WatchdogSteps arms the kernel watchdog: a thread that charges more
+	// than this many instructions within one phase is presumed hung (e.g.
+	// a spin lock whose memory word is pinned by a stuck-at media fault)
+	// and the launch is aborted with a typed WatchdogError plus a
+	// consistent crash image, instead of livelocking the simulator. The
+	// budget is counted in charged steps of the deterministic functional
+	// pass — a simulated clock, never wall time — so an abort is
+	// bit-identical across Workers settings. 0 disables the watchdog.
+	WatchdogSteps int64
 }
 
 // DefaultConfig returns a Volta-class device: 80 SMs, 32-lane warps, and an
@@ -98,19 +107,28 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() {
+// Validate reports the first invalid field as a *ConfigError wrapping
+// ErrConfig, or nil when the configuration is usable.
+func (c Config) Validate() error {
 	switch {
 	case c.NumSMs <= 0:
-		panic("gpusim: NumSMs must be positive")
+		return &ConfigError{Field: "NumSMs", Reason: "must be positive"}
 	case c.WarpSize <= 0:
-		panic("gpusim: WarpSize must be positive")
-	case c.MaxBlocksPerSM <= 0 || c.MaxThreadsPerSM <= 0:
-		panic("gpusim: occupancy limits must be positive")
+		return &ConfigError{Field: "WarpSize", Reason: "must be positive"}
+	case c.MaxBlocksPerSM <= 0:
+		return &ConfigError{Field: "MaxBlocksPerSM", Reason: "must be positive"}
+	case c.MaxThreadsPerSM <= 0:
+		return &ConfigError{Field: "MaxThreadsPerSM", Reason: "must be positive"}
 	case c.IssueWidth <= 0:
-		panic("gpusim: IssueWidth must be positive")
-	case c.L2BytesPerCycle <= 0 || c.NVMBytesPerCycle <= 0:
-		panic("gpusim: bandwidths must be positive")
+		return &ConfigError{Field: "IssueWidth", Reason: "must be positive"}
+	case c.L2BytesPerCycle <= 0:
+		return &ConfigError{Field: "L2BytesPerCycle", Reason: "must be positive"}
+	case c.NVMBytesPerCycle <= 0:
+		return &ConfigError{Field: "NVMBytesPerCycle", Reason: "must be positive"}
+	case c.WatchdogSteps < 0:
+		return &ConfigError{Field: "WatchdogSteps", Reason: "must be non-negative (0 disables)"}
 	}
+	return nil
 }
 
 // CyclesToMS converts a cycle count to milliseconds at the device clock.

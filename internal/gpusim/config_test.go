@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -9,34 +10,54 @@ import (
 
 func TestConfigValidationBranches(t *testing.T) {
 	mem := memsim.MustNew(memsim.DefaultConfig())
-	mutations := []func(*Config){
-		func(c *Config) { c.NumSMs = 0 },
-		func(c *Config) { c.WarpSize = 0 },
-		func(c *Config) { c.MaxBlocksPerSM = 0 },
-		func(c *Config) { c.MaxThreadsPerSM = 0 },
-		func(c *Config) { c.IssueWidth = 0 },
-		func(c *Config) { c.L2BytesPerCycle = 0 },
-		func(c *Config) { c.NVMBytesPerCycle = 0 },
+	mutations := []struct {
+		field  string
+		mutate func(*Config)
+	}{
+		{"NumSMs", func(c *Config) { c.NumSMs = 0 }},
+		{"WarpSize", func(c *Config) { c.WarpSize = 0 }},
+		{"MaxBlocksPerSM", func(c *Config) { c.MaxBlocksPerSM = 0 }},
+		{"MaxThreadsPerSM", func(c *Config) { c.MaxThreadsPerSM = 0 }},
+		{"IssueWidth", func(c *Config) { c.IssueWidth = 0 }},
+		{"L2BytesPerCycle", func(c *Config) { c.L2BytesPerCycle = 0 }},
+		{"NVMBytesPerCycle", func(c *Config) { c.NVMBytesPerCycle = 0 }},
+		{"WatchdogSteps", func(c *Config) { c.WatchdogSteps = -1 }},
 	}
-	for i, mutate := range mutations {
+	for _, m := range mutations {
 		cfg := DefaultConfig()
-		mutate(&cfg)
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("mutation %d did not panic", i)
-				}
-			}()
-			NewDevice(cfg, mem)
-		}()
+		m.mutate(&cfg)
+		d, err := New(cfg, mem)
+		if d != nil || err == nil {
+			t.Errorf("%s: New accepted invalid config (err=%v)", m.field, err)
+			continue
+		}
+		if !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: error %v does not wrap ErrConfig", m.field, err)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != m.field {
+			t.Errorf("%s: error %v does not name the field", m.field, err)
+		}
 	}
 	t.Run("nil memory", func(t *testing.T) {
+		if _, err := New(DefaultConfig(), nil); !errors.Is(err, ErrConfig) {
+			t.Fatalf("nil memory: err = %v, want ErrConfig", err)
+		}
+	})
+	t.Run("valid", func(t *testing.T) {
+		if _, err := New(DefaultConfig(), mem); err != nil {
+			t.Fatalf("default config rejected: %v", err)
+		}
+	})
+	t.Run("mustnew panics", func(t *testing.T) {
 		defer func() {
 			if recover() == nil {
-				t.Fatal("nil memory accepted")
+				t.Fatal("MustNew with invalid config did not panic")
 			}
 		}()
-		NewDevice(DefaultConfig(), nil)
+		bad := DefaultConfig()
+		bad.NumSMs = 0
+		MustNew(bad, mem)
 	})
 }
 

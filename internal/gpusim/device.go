@@ -18,6 +18,10 @@ type Device struct {
 	storeHook StoreHook
 	traceSink func(LaunchTrace)
 	crash     *CrashTrigger
+	// launchName is the name of the launch in flight, read by the watchdog
+	// when it aborts. Written once per launch before any worker goroutine
+	// starts, so concurrent reads during the functional pass are safe.
+	launchName string
 }
 
 // StoreHook observes every 32-bit data store a kernel performs. It is the
@@ -33,13 +37,27 @@ func (d *Device) SetStoreHook(hook StoreHook) StoreHook {
 	return prev
 }
 
-// NewDevice creates a Device over mem with the given configuration.
-func NewDevice(cfg Config, mem *memsim.Memory) *Device {
-	cfg.validate()
-	if mem == nil {
-		panic("gpusim: nil memory")
+// New creates a Device over mem with the given configuration, returning a
+// typed *ConfigError (wrapping ErrConfig) when the configuration or memory
+// is invalid.
+func New(cfg Config, mem *memsim.Memory) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &Device{cfg: cfg, mem: mem, lines: newWordTimeline()}
+	if mem == nil {
+		return nil, &ConfigError{Field: "mem", Reason: "must be non-nil"}
+	}
+	return &Device{cfg: cfg, mem: mem, lines: newWordTimeline()}, nil
+}
+
+// MustNew is New, panicking on error — the convenience constructor for
+// tests and examples whose configuration is statically known-good.
+func MustNew(cfg Config, mem *memsim.Memory) *Device {
+	d, err := New(cfg, mem)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // Config returns the device configuration.
@@ -84,9 +102,15 @@ type LaunchResult struct {
 	// MaxConcurrency is the number of SM block slots the launch could
 	// occupy simultaneously.
 	MaxConcurrency int
-	// Interrupted reports that an armed CrashTrigger fired mid-launch;
-	// Blocks then counts only the blocks that retired before the crash.
+	// Interrupted reports that the launch stopped before the full grid
+	// retired — an armed CrashTrigger fired, or the watchdog aborted a
+	// hung block; Blocks then counts only the blocks that retired.
 	Interrupted bool
+	// Watchdog is non-nil when the kernel watchdog aborted the launch
+	// (Config.WatchdogSteps exceeded): it identifies the runaway block.
+	// The memory hierarchy has been crashed to a consistent durable image,
+	// so recovery can proceed as after a power failure.
+	Watchdog *WatchdogError
 }
 
 // MS returns the launch duration in milliseconds (requires the config used
@@ -117,6 +141,7 @@ func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, select
 	if kernel == nil {
 		panic("gpusim: nil kernel")
 	}
+	d.launchName = name
 	threadsPerBlock := block.Size()
 	perSM := d.cfg.MaxBlocksPerSM
 	if byThreads := d.cfg.MaxThreadsPerSM / threadsPerBlock; byThreads < perSM {
@@ -200,7 +225,16 @@ func (d *Device) runBlocksSerial(grid, block Dim3, kernel KernelFunc, order []in
 			startTime: start,
 			shared:    map[string]any{},
 		}
-		kernel(b)
+		if wd := runBlockGuarded(kernel, b); wd != nil {
+			// Hung block: drop all volatile state so the durable image is
+			// exactly what a power failure at this dispatch point would
+			// leave, and surface the typed abort. The partial block never
+			// retires.
+			d.mem.Crash()
+			res.Interrupted = true
+			res.Watchdog = wd
+			break
+		}
 		slots[slot] = start + b.cycles
 		recs = append(recs, blockRec{base: b.cycles, events: b.events})
 

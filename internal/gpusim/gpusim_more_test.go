@@ -96,7 +96,7 @@ func TestDispatchSkewStaggersStarts(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumSMs = 80
 	cfg.BlockDispatchCycles = 2
-	d := NewDevice(cfg, memsim.MustNew(memsim.DefaultConfig()))
+	d := MustNew(cfg, memsim.MustNew(memsim.DefaultConfig()))
 	res := d.Launch("tiny", D1(1000), D1(32), func(b *Block) {
 		b.ForAll(func(th *Thread) { th.Op(1) })
 	})

@@ -15,7 +15,7 @@ func testDevice() *Device {
 		LineSize: 128, CacheBytes: 1 << 20, Ways: 8,
 		NVMReadNS: 160, NVMWriteNS: 480, NVMBandwidthGBs: 326.4,
 	})
-	return NewDevice(cfg, mem)
+	return MustNew(cfg, mem)
 }
 
 func TestDim3(t *testing.T) {
@@ -40,10 +40,10 @@ func TestConfigValidation(t *testing.T) {
 	bad.NumSMs = 0
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NewDevice with 0 SMs did not panic")
+			t.Fatal("MustNew with 0 SMs did not panic")
 		}
 	}()
-	NewDevice(bad, mem)
+	MustNew(bad, mem)
 }
 
 func TestLaunchFunctional(t *testing.T) {
@@ -431,7 +431,7 @@ func TestSchedulerOverlapsBlocks(t *testing.T) {
 	cfg.NumSMs = 4
 	cfg.MaxBlocksPerSM = 2
 	cfg.BlockDispatchCycles = 0
-	d := NewDevice(cfg, memsim.MustNew(memsim.DefaultConfig()))
+	d := MustNew(cfg, memsim.MustNew(memsim.DefaultConfig()))
 	kernel := func(b *Block) {
 		b.ForAll(func(th *Thread) { th.Op(1000) })
 	}
@@ -454,7 +454,7 @@ func TestOccupancyLimitedByThreads(t *testing.T) {
 	cfg.MaxBlocksPerSM = 8
 	cfg.MaxThreadsPerSM = 2048
 	mem := memsim.MustNew(memsim.DefaultConfig())
-	d := NewDevice(cfg, mem)
+	d := MustNew(cfg, mem)
 	res := d.Launch("big-blocks", D1(4), D1(1024), func(b *Block) {
 		b.ForAll(func(th *Thread) { th.Op(100) })
 	})

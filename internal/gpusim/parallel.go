@@ -38,8 +38,10 @@ func (d *Device) runSpecBlock(grid, block Dim3, kernel KernelFunc, lin int, snap
 }
 
 // reexecBlock runs one block directly (non-speculatively) at its committed
-// dispatch position — the exact code path the serial engine uses.
-func (d *Device) reexecBlock(grid, block Dim3, kernel KernelFunc, lin int, start int64) *Block {
+// dispatch position — the exact code path the serial engine uses. A
+// watchdog abort is returned, not propagated: the commit loop converts it
+// exactly as the serial engine would.
+func (d *Device) reexecBlock(grid, block Dim3, kernel KernelFunc, lin int, start int64) (*Block, *WatchdogError) {
 	b := &Block{
 		dev:       d,
 		Idx:       grid.Unlinear(lin),
@@ -49,8 +51,8 @@ func (d *Device) reexecBlock(grid, block Dim3, kernel KernelFunc, lin int, start
 		startTime: start,
 		shared:    map[string]any{},
 	}
-	kernel(b)
-	return b
+	wd := runBlockGuarded(kernel, b)
+	return b, wd
 }
 
 // runBlocksParallel is the functional pass on a host worker pool: workers
@@ -148,7 +150,18 @@ func (d *Device) runBlocksParallel(grid, block Dim3, kernel KernelFunc, order []
 			}
 			b.onCommit = nil
 		} else {
-			b = d.reexecBlock(grid, block, kernel, lin, start)
+			// A speculative watchdog trip was absorbed into needReexec, so
+			// a genuinely hung block re-trips here, at its exact dispatch
+			// position — bit-identical to the serial abort.
+			var wd *WatchdogError
+			b, wd = d.reexecBlock(grid, block, kernel, lin, start)
+			if wd != nil {
+				finish()
+				d.mem.Crash()
+				res.Interrupted = true
+				res.Watchdog = wd
+				return recs
+			}
 		}
 
 		slots[slot] = start + b.cycles

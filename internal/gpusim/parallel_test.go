@@ -14,7 +14,7 @@ func newParTestSystem(workers int) (*Device, *memsim.Memory) {
 	mem := memsim.MustNew(memsim.DefaultConfig())
 	cfg := DefaultConfig()
 	cfg.Workers = workers
-	return NewDevice(cfg, mem), mem
+	return MustNew(cfg, mem), mem
 }
 
 // launchBoth runs the same kernel construction serially and with workers

@@ -37,7 +37,31 @@ func (t *Thread) GlobalLinear() int {
 }
 
 // Op charges n ALU (or shared-memory) instructions.
-func (t *Thread) Op(n int) { t.instrs += int64(n) }
+func (t *Thread) Op(n int) {
+	t.instrs += int64(n)
+	t.wdCheck()
+}
+
+// wdCheck trips the kernel watchdog when this thread's charged
+// instruction count exceeds Config.WatchdogSteps (0 disables). Every
+// functional charge path calls it, so a spin loop — whose every
+// iteration charges at least one instruction — cannot livelock the
+// simulator: the abort unwinds as a watchdogAbort panic that the
+// engines convert into a typed LaunchResult.Watchdog. The count is part
+// of the deterministic functional pass, so the abort point is
+// bit-identical across Workers settings (a speculative trip is absorbed
+// into re-execution, where it re-trips at the same charged step).
+func (t *Thread) wdCheck() {
+	budget := t.b.dev.cfg.WatchdogSteps
+	if budget > 0 && t.instrs > budget {
+		panic(watchdogAbort{&WatchdogError{
+			Kernel: t.b.dev.launchName,
+			Block:  t.b.LinearIdx,
+			Thread: t.Linear,
+			Steps:  t.instrs,
+		}})
+	}
+}
 
 // Stall charges n cycles of exposed (non-hidable) latency — e.g. a chain
 // of dependent memory round trips whose results gate the thread's next
@@ -64,6 +88,7 @@ func (t *Thread) chargeAccess(res memsim.AccessResult) {
 	t.instrs++
 	t.l2Bytes += sectorBytes
 	t.nvmBytes += int64(res.Bytes(t.b.dev.mem.Config().LineSize))
+	t.wdCheck()
 }
 
 // storeHook returns the hook observing this thread's data stores: the
@@ -93,6 +118,7 @@ func (t *Thread) specLoad(kind memsim.AccessKind, r memsim.Region, idx, size int
 	s.curOps = append(s.curOps, specOp{op: opLoad, size: uint8(size), charged: true, kind: kind, addr: addr, val: v})
 	t.instrs++
 	t.l2Bytes += sectorBytes
+	t.wdCheck()
 	return v
 }
 
@@ -107,6 +133,7 @@ func (t *Thread) specStore(kind memsim.AccessKind, r memsim.Region, idx, size in
 	if charged {
 		t.instrs++
 		t.l2Bytes += sectorBytes
+		t.wdCheck()
 	}
 }
 

@@ -56,7 +56,7 @@ func (r *Runner) Scaling() (*Table, error) {
 	}
 	run := func(nBlocks int, cfg *core.Config) int64 {
 		mem := memsim.MustNew(r.Opt.Mem)
-		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		dev := gpusim.MustNew(r.Opt.Dev, mem)
 		grid, blk := gpusim.D1(nBlocks), gpusim.D1(32)
 		out := dev.Alloc("out", nBlocks*32*4)
 		out.HostZero()
@@ -118,7 +118,7 @@ func (r *Runner) Fusion() (*Table, error) {
 
 		// Crash damage at small cache.
 		mem := memsim.MustNew(memCfg)
-		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		dev := gpusim.MustNew(r.Opt.Dev, mem)
 		w := kernels.New("tmm", r.Opt.Scale)
 		w.Setup(dev)
 		grid, blk := w.Geometry()
@@ -150,7 +150,7 @@ func (r *Runner) Checkpoint() (*Table, error) {
 	memCfg := r.Opt.Mem // full-size cache: without checkpoints, everything is lost
 	for _, interval := range []int{0, 512, 256, 64} {
 		mem := memsim.MustNew(memCfg)
-		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		dev := gpusim.MustNew(r.Opt.Dev, mem)
 		w := kernels.New("tmm", r.Opt.Scale)
 		w.Setup(dev)
 		grid, blk := w.Geometry()
@@ -216,7 +216,7 @@ func (r *Runner) LoadFactor() (*Table, error) {
 	for _, pct100 := range []int{30, 50, 70, 85, 95} {
 		nKeys := capacity * pct100 / 100
 		mem := memsim.MustNew(r.Opt.Mem)
-		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		dev := gpusim.MustNew(r.Opt.Dev, mem)
 		st := hashtab.New(dev, "tbl", hashtab.Config{
 			Kind:        hashtab.Quad,
 			NumKeys:     capacity - 1, // rounds up to exactly `capacity` slots
@@ -255,7 +255,7 @@ func (r *Runner) MTBFPlan() (*Table, error) {
 
 	// Measure flush and validation costs on the real system.
 	mem := memsim.MustNew(r.Opt.Mem)
-	dev := gpusim.NewDevice(r.Opt.Dev, mem)
+	dev := gpusim.MustNew(r.Opt.Dev, mem)
 	w := kernels.New("tmm", r.Opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
@@ -298,7 +298,7 @@ func (r *Runner) RecoveryCost() (*Table, error) {
 		memCfg := r.Opt.Mem
 		memCfg.CacheBytes = cacheKB << 10
 		mem := memsim.MustNew(memCfg)
-		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		dev := gpusim.MustNew(r.Opt.Dev, mem)
 		w := kernels.New("tmm", r.Opt.Scale)
 		w.Setup(dev)
 		grid, blk := w.Geometry()
@@ -356,7 +356,7 @@ func (r *Runner) CPULP() (*Table, error) {
 		}
 	}
 	run := func(workers int, cfg *core.Config) (int64, error) {
-		dev := gpusim.NewDevice(cpuLikeDevice(workers), memsim.MustNew(r.Opt.Mem))
+		dev := gpusim.MustNew(cpuLikeDevice(workers), memsim.MustNew(r.Opt.Mem))
 		grid, blk := gpusim.D1(nBlocks), gpusim.D1(32)
 		out := dev.Alloc("out", nBlocks*32*4*4)
 		out.HostZero()

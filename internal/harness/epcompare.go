@@ -32,7 +32,7 @@ func (r *Runner) EPCompare() (*Table, error) {
 
 		// EP run: fresh system, same workload, redo-log wrap.
 		mem := memsim.MustNew(r.Opt.Mem)
-		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		dev := gpusim.MustNew(r.Opt.Dev, mem)
 		w := kernels.New(name, r.Opt.Scale)
 		w.Setup(dev)
 		grid, blk := w.Geometry()

@@ -427,7 +427,7 @@ func (r *Runner) Recovery() (*Table, error) {
 	memCfg.CacheBytes = 256 << 10
 	for _, name := range []string{"tmm", "spmv", "histo", "megakv-insert"} {
 		mem := memsim.MustNew(memCfg)
-		dev := gpusim.NewDevice(r.Opt.Dev, mem)
+		dev := gpusim.MustNew(r.Opt.Dev, mem)
 		w := kernels.New(name, r.Opt.Scale)
 		w.Setup(dev)
 		grid, blk := w.Geometry()

@@ -154,6 +154,7 @@ var Experiments = []Experiment{
 	{"falseneg", "§IV-B: checksum false-negative rates under error injection", (*Runner).FalseNeg},
 	{"recovery", "§II-A/§IV-A: crash, validation and recovery", (*Runner).Recovery},
 	{"faultcampaign", "robustness: seeded fault-injection campaign vs hardened recovery", (*Runner).FaultCampaign},
+	{"scrubcampaign", "robustness: media-error rate sweep vs self-healing recovery", (*Runner).ScrubCampaign},
 	{"epcompare", "§I/§II: Eager vs Lazy Persistency", (*Runner).EPCompare},
 	{"scaling", "ablation: LP overhead vs thread-block count", (*Runner).Scaling},
 	{"fusion", "ablation: region fusion factor (§IV-A enlargement)", (*Runner).Fusion},
@@ -247,7 +248,7 @@ func (r *Runner) measure(name string, lpCfg *core.Config) (measurement, error) {
 		}
 	}
 	mem := memsim.MustNew(r.Opt.Mem)
-	dev := gpusim.NewDevice(r.Opt.Dev, mem)
+	dev := gpusim.MustNew(r.Opt.Dev, mem)
 	w := kernels.New(name, r.Opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()

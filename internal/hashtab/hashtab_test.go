@@ -13,7 +13,7 @@ import (
 func newTestDevice() *gpusim.Device {
 	cfg := gpusim.DefaultConfig()
 	cfg.NumSMs = 4
-	return gpusim.NewDevice(cfg, memsim.MustNew(memsim.Config{
+	return gpusim.MustNew(cfg, memsim.MustNew(memsim.Config{
 		LineSize: 128, CacheBytes: 2 << 20, Ways: 8,
 		NVMReadNS: 160, NVMWriteNS: 480, NVMBandwidthGBs: 326.4,
 	}))

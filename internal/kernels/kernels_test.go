@@ -11,7 +11,7 @@ import (
 func newTestDevice() *gpusim.Device {
 	cfg := gpusim.DefaultConfig()
 	cfg.NumSMs = 16
-	return gpusim.NewDevice(cfg, memsim.MustNew(memsim.DefaultConfig()))
+	return gpusim.MustNew(cfg, memsim.MustNew(memsim.DefaultConfig()))
 }
 
 // allNames covers the eight suite benchmarks plus the MEGA-KV ops.

@@ -11,7 +11,7 @@ import (
 func newTestDevice() *gpusim.Device {
 	cfg := gpusim.DefaultConfig()
 	cfg.NumSMs = 4
-	return gpusim.NewDevice(cfg, memsim.MustNew(memsim.DefaultConfig()))
+	return gpusim.MustNew(cfg, memsim.MustNew(memsim.DefaultConfig()))
 }
 
 // runOp executes a single-thread device operation.

@@ -41,5 +41,5 @@ func (c Config) Validate() error {
 			Reason: fmt.Sprintf("cache of %d bytes too small for %d-byte lines at %d ways",
 				c.CacheBytes, c.LineSize, c.Ways)}
 	}
-	return nil
+	return c.Fault.validate()
 }

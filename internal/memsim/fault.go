@@ -102,11 +102,17 @@ func (m *Memory) tornWriteBack(l *line, rng *rand.Rand) {
 	}
 	n := (1 + rng.Intn(chunks-1)) * 8
 	m.ensureNVM(l.tag)
+	data := l.data[:n]
+	if m.media != nil {
+		// A torn write is still a write of its prefix: the fault process
+		// advances and stuck cells override the persisted chunk.
+		data = m.mediaEffective(l.tag, data)
+	}
 	// Route through mutateNVM so an active snapshot preserves the line's
 	// pre-tear durable bytes — torn persistence is a durable-image event
 	// and must stay invisible to the frozen coherent view.
-	m.mutateNVM(l.tag, l.data[:n])
-	m.notify(PersistEvent{Kind: EvTornWriteBack, Addr: l.tag, Data: l.data[:n]})
+	m.mutateNVM(l.tag, data)
+	m.notify(PersistEvent{Kind: EvTornWriteBack, Addr: l.tag, Data: data})
 	m.stats.NVMLineWrites++
 	if m.stats.NVMWritesByRegion == nil {
 		m.stats.NVMWritesByRegion = make(map[string]int64)
@@ -144,9 +150,19 @@ func (m *Memory) InjectBitFlipsRange(rng *rand.Rand, base uint64, size, n int) [
 // snapshot outstanding (flips surface only to durable readers).
 func (m *Memory) FlipBit(addr uint64, bit uint8) {
 	m.ensureNVM(addr &^ uint64(m.cfg.LineSize-1))
-	b := m.nvm[addr] ^ (1 << (bit % 8))
+	bit %= 8
+	if m.mediaAbsorbsFlip(addr, bit) {
+		// A stuck cell cannot change state: the disturb is absorbed, no
+		// durable mutation happens, and no event fires (the oracle's xor
+		// semantics would otherwise diverge from the unchanged image).
+		return
+	}
+	// With an active media model the flip is ECC-detectable: record the
+	// pre-flip bytes as the line's intended contents so Scrub can heal it.
+	m.mediaTrackFlip(addr)
+	b := m.nvm[addr] ^ (1 << bit)
 	m.mutateNVM(addr, []byte{b})
-	m.notify(PersistEvent{Kind: EvBitFlip, Addr: addr, Bit: bit % 8})
+	m.notify(PersistEvent{Kind: EvBitFlip, Addr: addr, Bit: bit})
 }
 
 // InjectBitFlips flips n random bits anywhere in the allocated durable
@@ -180,5 +196,9 @@ func (m *Memory) RestoreNVM(img []byte) {
 		m.nvm[i] = 0
 	}
 	m.notify(PersistEvent{Kind: EvRestore, Data: img})
+	// Stuck-at cells survive an image restore: re-assert them over the
+	// restored bytes (after the EvRestore, so the oracle replays the same
+	// sequence) and adopt the restored image as the new intended contents.
+	m.mediaAfterRestore()
 	m.Crash()
 }

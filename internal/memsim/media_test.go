@@ -1,0 +1,243 @@
+package memsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// faultyConfig returns the tiny test memory with the seeded fault process
+// armed at the given rates.
+func faultyConfig(seed uint64, transient, stuck float64) Config {
+	c := tinyConfig()
+	c.Fault = FaultConfig{Enabled: true, Seed: seed, TransientPerWrite: transient, StuckPerWrite: stuck}
+	return c
+}
+
+// TestFaultConfigValidate covers the typed validation of the fault knobs.
+func TestFaultConfigValidate(t *testing.T) {
+	bad := []Config{
+		faultyConfig(1, -0.1, 0),
+		faultyConfig(1, 1.5, 0),
+		faultyConfig(1, 0, -1),
+		faultyConfig(1, 0, 2),
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c.Fault)
+		}
+	}
+	disabled := tinyConfig()
+	disabled.Fault = FaultConfig{TransientPerWrite: 99} // ignored while disabled
+	if _, err := New(disabled); err != nil {
+		t.Errorf("disabled fault config rejected: %v", err)
+	}
+}
+
+// TestTransientFaultCapturedAndScrubbed: with TransientPerWrite=1 every
+// write-back captures one flipped bit; the durable bytes deviate from
+// intent, and one Scrub sweep heals the line completely.
+func TestTransientFaultCapturedAndScrubbed(t *testing.T) {
+	m := MustNew(faultyConfig(42, 1, 0))
+	r := m.Alloc("data", 64)
+	for i := 0; i < 16; i++ {
+		r.StoreU32(AccessData, i, 0xa5a5a5a5)
+	}
+	m.FlushAll()
+
+	st := m.MediaStats()
+	if st.Writes != 1 || st.Transient != 1 {
+		t.Fatalf("stats after one write-back: %+v, want Writes=1 Transient=1", st)
+	}
+	diff := 0
+	for i := 0; i < 16; i++ {
+		if r.NVMU32(i) != 0xa5a5a5a5 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d words deviate from intent, want exactly 1 (single-bit error)", diff)
+	}
+
+	rep := m.Scrub()
+	if rep.LinesScanned != 1 || rep.Corrupt != 1 || rep.Healed != 1 || !rep.Clean() {
+		t.Fatalf("scrub report %+v, want 1 scanned/corrupt/healed, clean", rep)
+	}
+	for i := 0; i < 16; i++ {
+		if got := r.NVMU32(i); got != 0xa5a5a5a5 {
+			t.Fatalf("word %d = %#x after scrub, want healed %#x", i, got, 0xa5a5a5a5)
+		}
+	}
+	if lines := m.MediaFaultyLines(); len(lines) != 0 {
+		t.Fatalf("healed transient line still tracked: %v", lines)
+	}
+	// An idle follow-up sweep finds nothing.
+	if rep := m.Scrub(); rep.LinesScanned != 0 || !rep.Clean() {
+		t.Fatalf("idle scrub not empty: %+v", rep)
+	}
+}
+
+// TestStuckAtPermanentAndUncorrectable: a stuck-at fault pins the cell
+// against every write, scrub reports it uncorrectable, and checkpoint
+// restore re-asserts it.
+func TestStuckAtPermanentAndUncorrectable(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 64)
+	r.StoreU32(AccessData, 0, 0xffffffff)
+	m.FlushAll()
+
+	m.PlantStuckAt(r.Base, 0, 0) // pin bit 0 of byte 0 to 0
+	if got := r.NVMU32(0); got != 0xfffffffe {
+		t.Fatalf("plant did not force durable bit: %#x", got)
+	}
+
+	// Every later write of the bit is overridden.
+	r.StoreU32(AccessData, 0, 0xffffffff)
+	m.FlushAll()
+	if got := r.NVMU32(0); got != 0xfffffffe {
+		t.Fatalf("write overrode stuck cell: %#x", got)
+	}
+
+	rep := m.Scrub()
+	if rep.Uncorrectable != 1 || len(rep.UncorrectableLines) != 1 || rep.UncorrectableLines[0] != r.Base {
+		t.Fatalf("scrub report %+v, want the stuck line uncorrectable", rep)
+	}
+
+	// A restore of a checkpoint that predates the fault still lands on the
+	// pinned cell.
+	snap := m.SnapshotNVM()
+	m.RestoreNVM(snap)
+	if got := r.NVMU32(0); got != 0xfffffffe {
+		t.Fatalf("restore cleared stuck cell: %#x", got)
+	}
+
+	// Writing the stuck value makes the line deviation-free: intent now
+	// agrees with the pinned cell, so scrub reports nothing to fix.
+	r.StoreU32(AccessData, 0, 0xfffffffe)
+	m.FlushAll()
+	if rep := m.Scrub(); rep.Uncorrectable != 0 || rep.Corrupt != 0 {
+		t.Fatalf("agreeing stuck line reported corrupt: %+v", rep)
+	}
+}
+
+// TestStuckCellAbsorbsFlipBit: FlipBit on a pinned cell is a no-op (no
+// durable change, no event); on other cells of a tracked line it is
+// recorded as ECC-detectable and healed by scrub.
+func TestStuckCellAbsorbsFlipBit(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 64)
+	m.PlantStuckAt(r.Base, 3, 1)
+	// Write the agreeing value so the line's only deviation risk is the
+	// external flip below (a disagreeing stuck cell would stay
+	// uncorrectable by design).
+	r.StoreU32(AccessData, 0, 1<<3)
+	m.FlushAll()
+
+	events := 0
+	m.SetPersistObserver(func(ev PersistEvent) { events++ })
+	before := r.NVMU32(0)
+	m.FlipBit(r.Base, 3)
+	if got := r.NVMU32(0); got != before || events != 0 {
+		t.Fatalf("pinned cell flipped: %#x -> %#x (%d events)", before, got, events)
+	}
+
+	m.FlipBit(r.Base+1, 5) // different byte, same tracked line
+	rep := m.Scrub()
+	if rep.Healed != 1 {
+		t.Fatalf("tracked external flip not healed: %+v", rep)
+	}
+	if got := r.NVMU32(0); got != before {
+		t.Fatalf("scrub did not restore flipped byte: %#x want %#x", got, before)
+	}
+}
+
+// TestMediaFaultProcessDeterministic: the same seed and write sequence
+// produce bit-identical durable images, stats, and faulty-line sets.
+func TestMediaFaultProcessDeterministic(t *testing.T) {
+	run := func() (*Memory, Region) {
+		m := MustNew(faultyConfig(7, 0.5, 0.25))
+		r := m.Alloc("data", 1024)
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < 256; i++ {
+				r.StoreU32(AccessData, i, uint32(i*pass)^0x9e37)
+			}
+			m.FlushAll()
+		}
+		return m, r
+	}
+	m1, _ := run()
+	m2, _ := run()
+	if !bytes.Equal(m1.NVMImage(), m2.NVMImage()) {
+		t.Error("durable images diverge across identical runs")
+	}
+	if m1.MediaStats() != m2.MediaStats() {
+		t.Errorf("media stats diverge: %+v vs %+v", m1.MediaStats(), m2.MediaStats())
+	}
+	l1, l2 := m1.MediaFaultyLines(), m2.MediaFaultyLines()
+	if len(l1) != len(l2) {
+		t.Fatalf("faulty line sets diverge: %v vs %v", l1, l2)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("faulty line sets diverge at %d: %v vs %v", i, l1, l2)
+		}
+	}
+	if st := m1.MediaStats(); st.Transient == 0 || st.Stuck == 0 {
+		t.Fatalf("fault process produced no faults at high rates: %+v", st)
+	}
+}
+
+// TestMediaOracleShadowExact: an event-replayed shadow image must stay
+// bit-exact through fault-process write-backs, planted stuck-at cells,
+// scrub repairs, crashes, and checkpoint restores — the PR 3 oracle
+// contract extended to the new event kinds.
+func TestMediaOracleShadowExact(t *testing.T) {
+	m := MustNew(faultyConfig(13, 0.4, 0.1))
+	var shadow []byte
+	grow := func(end uint64) {
+		for uint64(len(shadow)) < end {
+			shadow = append(shadow, 0)
+		}
+	}
+	m.SetPersistObserver(func(ev PersistEvent) {
+		switch ev.Kind {
+		case EvWriteBack, EvTornWriteBack, EvHostWrite, EvStuckAt, EvScrubRepair:
+			grow(ev.Addr + uint64(len(ev.Data)))
+			copy(shadow[ev.Addr:], ev.Data)
+		case EvBitFlip:
+			grow(ev.Addr + 1)
+			shadow[ev.Addr] ^= 1 << ev.Bit
+		case EvRestore:
+			shadow = append(shadow[:0], ev.Data...)
+		}
+	})
+
+	r := m.Alloc("data", 512)
+	check := func(stage string) {
+		t.Helper()
+		img := m.NVMImage()
+		grow(uint64(len(img)))
+		if !bytes.Equal(shadow, img[:len(shadow)]) {
+			t.Fatalf("%s: shadow diverges from durable image", stage)
+		}
+	}
+
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 128; i++ {
+			r.StoreU32(AccessData, i, uint32(i)+uint32(pass)<<16)
+		}
+		m.FlushAll()
+		check("flush")
+		m.Scrub()
+		check("scrub")
+	}
+	m.PlantStuckAt(r.Base+17, 2, 1)
+	check("plant")
+	ckpt := m.SnapshotNVM()
+	r.StoreU32(AccessData, 4, 0xdddddddd)
+	m.Crash()
+	check("crash")
+	m.RestoreNVM(ckpt)
+	check("restore (stuck cells re-asserted)")
+	m.Scrub()
+	check("final scrub")
+}

@@ -44,6 +44,9 @@ type Config struct {
 	NVMWriteNS float64
 	// NVMBandwidthGBs is the sustainable NVM bandwidth in GB/s.
 	NVMBandwidthGBs float64
+	// Fault configures the online media-error model (see media.go). The
+	// zero value disables the fault process.
+	Fault FaultConfig
 }
 
 // DefaultConfig mirrors the NVM parameters used in §VII-3 of the paper
@@ -175,6 +178,9 @@ type Memory struct {
 	// plantDropNth/plantWBCount implement PlantDropWriteBack.
 	plantDropNth int
 	plantWBCount int
+	// media is the online media-error model (see media.go); nil until the
+	// fault process is enabled or a stuck-at cell is planted.
+	media *mediaState
 }
 
 // New creates a Memory with the given configuration. A bad configuration
@@ -191,6 +197,9 @@ func New(cfg Config) (*Memory, error) {
 	m.sets = make([]cacheSet, m.numSets)
 	for i := range m.sets {
 		m.sets[i].ways = make([]line, cfg.Ways)
+	}
+	if cfg.Fault.Enabled {
+		m.media = newMediaState(cfg.Fault, cfg.LineSize)
 	}
 	return m, nil
 }
@@ -322,10 +331,17 @@ func (m *Memory) ensureNVM(lineAddr uint64) {
 
 func (m *Memory) writeBack(l *line) {
 	m.ensureNVM(l.tag)
-	if !m.plantShouldDrop() {
-		m.mutateNVMLine(l.tag, l.data)
+	data := l.data
+	if m.media != nil {
+		// The media model may perturb the bytes the cells capture; the
+		// event carries the effective bytes so the durable oracle stays
+		// exact, and l.data itself is never touched.
+		data = m.mediaEffective(l.tag, l.data)
 	}
-	m.notify(PersistEvent{Kind: EvWriteBack, Addr: l.tag, Data: l.data})
+	if !m.plantShouldDrop() {
+		m.mutateNVMLine(l.tag, data)
+	}
+	m.notify(PersistEvent{Kind: EvWriteBack, Addr: l.tag, Data: data})
 	m.stats.NVMLineWrites++
 	if m.stats.NVMWritesByRegion == nil {
 		m.stats.NVMWritesByRegion = make(map[string]int64)
@@ -527,8 +543,9 @@ func (m *Memory) HostWrite(addr uint64, buf []byte) {
 	if end > len(m.nvm) {
 		m.ensureNVM(uint64(end-1) &^ uint64(m.cfg.LineSize-1))
 	}
-	m.mutateNVM(addr, buf)
-	m.notify(PersistEvent{Kind: EvHostWrite, Addr: addr, Data: buf})
+	data := m.mediaHostEffective(addr, buf)
+	m.mutateNVM(addr, data)
+	m.notify(PersistEvent{Kind: EvHostWrite, Addr: addr, Data: data})
 	ls := uint64(m.cfg.LineSize)
 	first := addr &^ (ls - 1)
 	last := (addr + uint64(len(buf)) - 1) &^ (ls - 1)

@@ -40,6 +40,15 @@ const (
 	// EvCrash is a power failure: all cached state dropped, durable image
 	// untouched. Carries no bytes; observers use it to mark epochs.
 	EvCrash
+	// EvStuckAt is a stuck-at media cell forcing the durable byte at Addr;
+	// Data holds the single resulting byte, Bit the (a) pinned bit index.
+	// Fired when a stuck bit is planted over a disagreeing durable value
+	// or re-asserted after a checkpoint restore; stuck overrides folded
+	// into ordinary write-backs travel inside those events' Data instead.
+	EvStuckAt
+	// EvScrubRepair is a Scrub pass rewriting a deviating line; Data holds
+	// the full effective line (intended bytes with stuck cells applied).
+	EvScrubRepair
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +66,10 @@ func (k PersistEventKind) String() string {
 		return "restore"
 	case EvCrash:
 		return "crash"
+	case EvStuckAt:
+		return "stuck-at"
+	case EvScrubRepair:
+		return "scrub-repair"
 	}
 	return "unknown"
 }

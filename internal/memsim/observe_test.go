@@ -85,6 +85,83 @@ func TestTornWriteBackUnderSnapshotFrozen(t *testing.T) {
 	m.EndSnapshot()
 }
 
+// TestFaultProcessUnderSnapshotFrozen extends the snapshot × fault
+// regression to the online media-error model: write-backs whose bytes are
+// perturbed by the seeded fault process (transient flips, fresh stuck-at
+// cells) mutate the durable array mid-snapshot and must stay invisible to
+// the frozen view.
+func TestFaultProcessUnderSnapshotFrozen(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Fault = FaultConfig{Enabled: true, Seed: 11, TransientPerWrite: 1, StuckPerWrite: 0.5}
+	m := MustNew(cfg)
+	r := m.Alloc("data", 256)
+	for i := 0; i < 64; i++ {
+		r.StoreU32(AccessData, i, uint32(i)+7)
+	}
+	m.FlushAll() // faulted bytes land durably; coherent view unaffected
+	s := m.BeginSnapshot()
+
+	want := make([]uint32, 64)
+	for i := range want {
+		want[i] = s.ReadU32(r.Base + uint64(4*i))
+	}
+	// Dirty every line again and force faulted write-backs under the live
+	// snapshot.
+	for i := 0; i < 64; i++ {
+		r.StoreU32(AccessData, i, uint32(i)*2654435761)
+	}
+	m.FlushAll()
+	for i := range want {
+		if got := s.ReadU32(r.Base + uint64(4*i)); got != want[i] {
+			t.Fatalf("snapshot[%d] = %#x after faulted write-backs, want frozen %#x", i, got, want[i])
+		}
+	}
+	if st := m.MediaStats(); st.Transient == 0 {
+		t.Fatal("fault process injected nothing — test exercised no fault path")
+	}
+	m.EndSnapshot()
+}
+
+// TestScrubAndStuckAtUnderSnapshotFrozen: scrub rewrites and planted
+// stuck-at forcings route through the COW paths too, so a live snapshot
+// must not observe them either.
+func TestScrubAndStuckAtUnderSnapshotFrozen(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Fault = FaultConfig{Enabled: true, Seed: 3, TransientPerWrite: 1}
+	m := MustNew(cfg)
+	r := m.Alloc("data", 256)
+	for i := 0; i < 64; i++ {
+		r.StoreU32(AccessData, i, 0x5a5a0000+uint32(i))
+	}
+	m.FlushAll() // every line now carries one transient flip
+	s := m.BeginSnapshot()
+
+	want := make([]uint32, 64)
+	for i := range want {
+		want[i] = s.ReadU32(r.Base + uint64(4*i))
+	}
+	rep := m.Scrub() // heals the flips — durably, under the snapshot
+	if rep.Healed == 0 {
+		t.Fatal("scrub healed nothing — test exercised no repair path")
+	}
+	m.PlantStuckAt(r.Base+5, 6, 1) // forces a durable byte immediately
+	for i := range want {
+		if got := s.ReadU32(r.Base + uint64(4*i)); got != want[i] {
+			t.Fatalf("snapshot[%d] = %#x after scrub/plant, want frozen %#x", i, got, want[i])
+		}
+	}
+	m.EndSnapshot()
+
+	// Post-snapshot, durable readers see the healed + pinned bytes: word 1
+	// holds the healed value plus the stuck-at bit (byte 5, bit 6 — bit 14
+	// of the word).
+	m.Crash()
+	want1 := uint32(0x5a5a0001) | 1<<14
+	if got, _ := r.LoadU32(AccessData, 1); got != want1 {
+		t.Errorf("post-crash word 1 = %#x, want healed+pinned %#x", got, want1)
+	}
+}
+
 // TestPersistObserverStream checks that the observer sees every durable
 // mutation with the bytes that actually landed: a shadow image replayed
 // from events alone must equal the real durable image.

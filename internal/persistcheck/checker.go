@@ -45,6 +45,7 @@ type Report struct {
 	MemOps    int `json:"memops"`
 	Kernel    int `json:"kernel"`
 	Diff      int `json:"diff"`
+	Scrub     int `json:"scrub"`
 	// Coverage counts scenarios per "kernel/backend" pair.
 	Coverage map[string]int `json:"coverage"`
 	Failures []Failure      `json:"failures,omitempty"`
@@ -116,6 +117,15 @@ func (c *Checker) Run(cfg Config) *Report {
 		Fault: faultsim.TornWriteback, Seed: seedAt(ordinal + 2)}
 	c.check(rep, Repro{Family: FamilyDiffEP, Kernel: &epBase}, "diff-ep "+epBase.String())
 	ordinal += 3
+	// Two mandatory self-healing scenarios: a transient-only run the
+	// scrubber must heal bit-exactly, and a stuck-at run with spin locks
+	// that exercises the watchdog and quarantine paths.
+	transientSc := ScrubScenario{Seed: seedAt(ordinal), Transient: 0.02}
+	c.check(rep, scrubRepro(transientSc), transientSc.String())
+	stuckSc := ScrubScenario{Seed: seedAt(ordinal + 1), Transient: 0.1, StuckFrac: 0.3,
+		ScrubEvery: 1, Workers: 2, Locks: true}
+	c.check(rep, scrubRepro(stuckSc), stuckSc.String())
+	ordinal += 2
 	progress("coverage sweep done: %d scenarios, %d failures", rep.Scenarios, len(rep.Failures))
 
 	// Phase 2: seeded random scenarios up to the budget, weighted toward
@@ -130,17 +140,20 @@ func (c *Checker) Run(cfg Config) *Report {
 			sc := GenMemOps(seed, n)
 			sc.PlantDrop = cfg.PlantDrop
 			c.check(rep, memopsRepro(sc), fmt.Sprintf("memops seed=%#x n=%d", seed, n))
-		case p < 88:
+		case p < 84:
 			sc := c.randomKernelScenario(cfg, seed)
 			c.check(rep, kernelRepro(sc), sc.String())
-		default:
+		case p < 92:
 			r, label := c.randomDiff(cfg, seed)
 			c.check(rep, r, label)
+		default:
+			sc := GenScrub(seed)
+			c.check(rep, scrubRepro(sc), sc.String())
 		}
 		ordinal++
 		if rep.Scenarios%50 == 0 {
-			progress("%d scenarios (%d memops, %d kernel, %d diff), %d failures",
-				rep.Scenarios, rep.MemOps, rep.Kernel, rep.Diff, len(rep.Failures))
+			progress("%d scenarios (%d memops, %d kernel, %d diff, %d scrub), %d failures",
+				rep.Scenarios, rep.MemOps, rep.Kernel, rep.Diff, rep.Scrub, len(rep.Failures))
 		}
 	}
 	return rep
@@ -226,6 +239,9 @@ func (c *Checker) check(rep *Report, r Repro, label string) {
 	case FamilyKernel:
 		rep.Kernel++
 		rep.Coverage[r.Kernel.Kernel+"/"+r.Kernel.Backend]++
+	case FamilyScrub:
+		rep.Scrub++
+		rep.Coverage["selfheal/scrub"]++
 	default:
 		rep.Diff++
 		if r.Kernel != nil {
@@ -253,6 +269,9 @@ func (c *Checker) Shrink(r Repro) Repro {
 	case FamilyKernel:
 		sc := c.shrinkKernel(*r.Kernel)
 		return kernelRepro(sc)
+	case FamilyScrub:
+		sc := c.shrinkScrub(*r.Scrub)
+		return scrubRepro(sc)
 	}
 	return r
 }

@@ -20,6 +20,7 @@ const (
 	FamilyDiffWorkers = "diff-workers"
 	FamilyDiffStores  = "diff-stores"
 	FamilyDiffEP      = "diff-ep"
+	FamilyScrub       = "scrub"
 )
 
 // Repro is a self-contained, replayable scenario of any family.
@@ -30,6 +31,7 @@ type Repro struct {
 	Note   string          `json:"note,omitempty"`
 	MemOps *MemOpsScenario `json:"memops,omitempty"`
 	Kernel *KernelScenario `json:"kernel,omitempty"`
+	Scrub  *ScrubScenario  `json:"scrub,omitempty"`
 	// DiffWorkers is the parallel width for the diff-workers family.
 	DiffWorkers int `json:"diff_workers,omitempty"`
 }
@@ -44,6 +46,10 @@ func kernelRepro(sc KernelScenario) Repro {
 	return Repro{Version: reproVersion, Family: FamilyKernel, Kernel: &sc}
 }
 
+func scrubRepro(sc ScrubScenario) Repro {
+	return Repro{Version: reproVersion, Family: FamilyScrub, Scrub: &sc}
+}
+
 // RunRepro replays a reproducer, returning the contract violation it
 // encodes (nil when the scenario passes — the state of every corpus
 // entry once its bug is fixed).
@@ -54,6 +60,11 @@ func (c *Checker) RunRepro(r Repro) error {
 			return fmt.Errorf("persistcheck: %s repro has no memops scenario", r.Family)
 		}
 		return RunMemOps(*r.MemOps)
+	case FamilyScrub:
+		if r.Scrub == nil {
+			return fmt.Errorf("persistcheck: %s repro has no scrub scenario", r.Family)
+		}
+		return c.RunScrub(*r.Scrub)
 	case FamilyKernel, FamilyDiffWorkers, FamilyDiffStores, FamilyDiffEP:
 		if r.Kernel == nil {
 			return fmt.Errorf("persistcheck: %s repro has no kernel scenario", r.Family)

@@ -57,7 +57,12 @@ func (o *Oracle) Detach() { o.mem.SetPersistObserver(o.prev) }
 func (o *Oracle) handle(ev memsim.PersistEvent) {
 	o.Events++
 	switch ev.Kind {
-	case memsim.EvWriteBack, memsim.EvTornWriteBack, memsim.EvHostWrite:
+	case memsim.EvWriteBack, memsim.EvTornWriteBack, memsim.EvHostWrite,
+		memsim.EvStuckAt, memsim.EvScrubRepair:
+		// All four carry the effective bytes that landed on the medium —
+		// write-backs and host writes already folded in any media faults,
+		// stuck-at asserts carry the forced byte, scrub repairs the
+		// rewritten line — so the shadow just copies them.
 		o.grow(ev.Addr + uint64(len(ev.Data)))
 		copy(o.shadow[ev.Addr:], ev.Data)
 	case memsim.EvBitFlip:

@@ -123,7 +123,7 @@ func (c *Checker) logEntriesFor(kernel string) (int, error) {
 		return n, nil
 	}
 	mem := memsim.MustNew(c.Opt.Mem)
-	dev := gpusim.NewDevice(c.Opt.Dev, mem)
+	dev := gpusim.MustNew(c.Opt.Dev, mem)
 	w := kernels.New(kernel, c.Opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
@@ -253,7 +253,7 @@ func (c *Checker) runLP(sc KernelScenario) (*runArtifacts, error) {
 	mem := memsim.MustNew(opt.Mem)
 	o := AttachOracle(mem) // before any allocation: the shadow sees every durable byte
 	defer o.Detach()
-	dev := gpusim.NewDevice(opt.Dev, mem)
+	dev := gpusim.MustNew(opt.Dev, mem)
 	w := kernels.New(sc.Kernel, opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
@@ -370,7 +370,7 @@ func (c *Checker) runEP(sc KernelScenario) (*runArtifacts, error) {
 	mem := memsim.MustNew(opt.Mem)
 	o := AttachOracle(mem)
 	defer o.Detach()
-	dev := gpusim.NewDevice(opt.Dev, mem)
+	dev := gpusim.MustNew(opt.Dev, mem)
 	w := kernels.New(sc.Kernel, opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
