@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign persistcheck-smoke persistcheck-soak bench ci
+.PHONY: all vet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak bench ci
 
 all: ci
 
@@ -56,6 +56,20 @@ scrub-campaign:
 	$(GO) run ./cmd/lpfault -ratesweep -seeds 8
 	$(GO) run ./cmd/lpfault -ratesweep -seeds 8 -locks -rates 0.05,0.2,0.4 -stuckfrac 0.5
 
+# cluster-smoke: a quick multi-device failover sweep (2- and 3-device
+# clusters, every failure kind × router, race detector on). Every case
+# kills one device mid-launch and must recover the shared durable image
+# bit-exactly on the survivors; exits non-zero on any mismatch or panic.
+cluster-smoke:
+	$(GO) run -race ./cmd/lpfault -cluster -seeds 2 -jobs 4 -parallel 4
+
+# cluster-soak: the fuller failover sweep for scheduled CI — larger
+# clusters, more seeds, plus a strict-quorum configuration that must
+# degrade honestly.
+cluster-soak:
+	$(GO) run ./cmd/lpfault -cluster -devices 2,3,4,6 -seeds 8 -parallel 4
+	$(GO) run ./cmd/lpfault -cluster -devices 2 -minalive 2 -seeds 8 -parallel 4
+
 # persistcheck-smoke: the crash-consistency model checker at a fixed seed
 # and small budget (the kernel × backend coverage sweep always runs in
 # full). Exits non-zero on any persistency contract violation.
@@ -72,4 +86,4 @@ bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	BENCH_JSON=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -v .
 
-ci: vet build race race-parallel matrix smoke scrub-smoke persistcheck-smoke
+ci: vet build race race-parallel matrix smoke scrub-smoke cluster-smoke persistcheck-smoke

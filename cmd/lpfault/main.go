@@ -13,11 +13,20 @@
 // reporting per-rate recovery success, scrub heal rate, quarantined bytes
 // and the degraded-coverage curve.
 //
+// With -cluster it runs the multi-device failover campaign: N simulated
+// devices under one shared clock, a seeded injector killing one device
+// mid-launch (fail-stop, hang, or transient stall) in every case, and
+// cross-device failover required to recover the shared durable image
+// bit-exactly on the survivors — or degrade honestly to the typed
+// cluster error.
+//
 //	lpfault -seeds 12                      # 204-case default campaign
 //	lpfault -kernels tmm -kinds mid-kernel # one cell of the sweep
 //	lpfault -repro '{"kernel":"tmm","kind":"mid-kernel","seed":12345}'
 //	lpfault -ratesweep -json               # media-error rate sweep
 //	lpfault -ratesweep -rates 0.01,0.1 -stuckfrac 0.2 -locks
+//	lpfault -cluster -devices 2,3 -seeds 4 # multi-device failover sweep
+//	lpfault -cluster -failures hang -routers least-loaded -json
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"os"
 	"strings"
 
+	"gpulp/internal/cluster"
 	"gpulp/internal/faultsim"
 )
 
@@ -34,7 +44,7 @@ func main() {
 	var (
 		kernels   = flag.String("kernels", "tmm,spmv,megakv-insert", "comma-separated workloads to stress")
 		kinds     = flag.String("kinds", "", "comma-separated fault kinds (default: all of "+kindNames()+")")
-		seeds     = flag.Int("seeds", 12, "seeded cases per (kernel, kind) pair")
+		seeds     = flag.Int("seeds", 12, "seeded cases per campaign cell")
 		baseSeed  = flag.Uint64("seed", 0x1a2b3c4d, "campaign base seed")
 		scale     = flag.Int("scale", 1, "workload input scale")
 		cache     = flag.Int("cache", 256<<10, "cache size in bytes")
@@ -51,8 +61,22 @@ func main() {
 		locks     = flag.Bool("locks", false, "guard each block behind a spin lock so stuck lock cells exercise the kernel watchdog")
 		watchdog  = flag.Int64("watchdog", 2_000_000, "kernel watchdog step budget for the rate sweep (0 disables)")
 		attempts  = flag.Int("attempts", 4, "self-heal attempts per rate-sweep case")
+
+		clusterMode = flag.Bool("cluster", false, "run the multi-device failover campaign instead of the crash-shape campaign")
+		devices     = flag.String("devices", "2,3", "comma-separated cluster sizes to sweep")
+		routers     = flag.String("routers", "", "comma-separated dispatch routers (default: all of "+routerNames()+")")
+		failures    = flag.String("failures", "", "comma-separated device-failure kinds (default: all of "+failureNames()+")")
+		jobs        = flag.Int("jobs", 8, "kernel launches (shards) per cluster case")
+		minAlive    = flag.Int("minalive", 1, "cluster quorum: below this many non-dead devices the run degrades")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*seeds, *scale, *cache, *parallel, *attempts, *stuckFrac,
+		*kernels, *repro, *rateSweep, *clusterMode, *jobs, *minAlive); err != nil {
+		fmt.Fprintln(os.Stderr, "lpfault:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opt := faultsim.DefaultOptions()
 	opt.Scale = *scale
@@ -65,6 +89,11 @@ func main() {
 	}
 	if *rateSweep {
 		runRateSweep(opt, *rates, *stuckFrac, *locks, *watchdog, *attempts,
+			*seeds, *baseSeed, *parallel, *progress, *jsonOut)
+		return
+	}
+	if *clusterMode {
+		runCluster(opt, *devices, *routers, *failures, *jobs, *minAlive,
 			*seeds, *baseSeed, *parallel, *progress, *jsonOut)
 		return
 	}
@@ -106,6 +135,84 @@ func main() {
 	if rep.Failed() {
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects contradictory or empty flag combinations with a
+// usage error before any campaign machinery spins up: a campaign with
+// zero cases, a negative budget, a mode-specific flag without its mode,
+// or two exclusive modes at once would otherwise run silently and report
+// a meaningless success.
+func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float64,
+	kernels, repro string, rateSweep, clusterMode bool, jobs, minAlive int) error {
+	// Which flags were explicitly set on the command line.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if seeds <= 0 {
+		return fmt.Errorf("-seeds %d would run an empty campaign (need >= 1)", seeds)
+	}
+	if scale < 1 {
+		return fmt.Errorf("-scale %d must be >= 1", scale)
+	}
+	if cache <= 0 {
+		return fmt.Errorf("-cache %d must be positive", cache)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("-parallel %d must be >= 1", parallel)
+	}
+	if attempts < 0 {
+		return fmt.Errorf("-attempts %d must not be negative", attempts)
+	}
+	if stuckFrac < 0 || stuckFrac > 1 {
+		return fmt.Errorf("-stuckfrac %v must be in [0,1]", stuckFrac)
+	}
+
+	if rateSweep && clusterMode {
+		return fmt.Errorf("-ratesweep and -cluster are exclusive modes")
+	}
+	if repro != "" && (rateSweep || clusterMode) {
+		return fmt.Errorf("-repro replays one crash-shape case and cannot combine with -ratesweep or -cluster")
+	}
+
+	// Mode-specific flags demand their mode: silently ignoring them would
+	// run a different campaign than the one asked for.
+	rateOnly := []string{"rates", "stuckfrac", "locks", "watchdog", "attempts"}
+	if !rateSweep {
+		for _, name := range rateOnly {
+			if set[name] {
+				return fmt.Errorf("-%s only applies to -ratesweep", name)
+			}
+		}
+	}
+	clusterOnly := []string{"devices", "routers", "failures", "jobs", "minalive"}
+	if !clusterMode {
+		for _, name := range clusterOnly {
+			if set[name] {
+				return fmt.Errorf("-%s only applies to -cluster", name)
+			}
+		}
+	}
+	crashOnly := []string{"kernels", "kinds", "minimize", "maxrounds"}
+	if rateSweep || clusterMode {
+		for _, name := range crashOnly {
+			if set[name] {
+				return fmt.Errorf("-%s only applies to the crash-shape campaign", name)
+			}
+		}
+	}
+
+	if !rateSweep && !clusterMode && len(splitList(kernels)) == 0 {
+		return fmt.Errorf("-kernels is empty: the crash-shape campaign needs at least one workload")
+	}
+	if clusterMode {
+		if jobs < 1 {
+			return fmt.Errorf("-jobs %d must be >= 1", jobs)
+		}
+		if minAlive < 1 {
+			return fmt.Errorf("-minalive %d must be >= 1", minAlive)
+		}
+	}
+	return nil
 }
 
 // reproduce replays one case from its JSON form (as reported in a
@@ -181,6 +288,60 @@ func runRateSweep(opt faultsim.Options, rateList string, stuckFrac float64, lock
 	}
 }
 
+// runCluster executes the multi-device failover campaign and renders or
+// JSON-encodes its report; any contract violation exits non-zero.
+func runCluster(opt faultsim.Options, deviceList, routerList, failureList string,
+	jobs, minAlive, seeds int, baseSeed uint64, parallel int, progress, jsonOut bool) {
+	c := faultsim.DefaultClusterCampaign(seeds)
+	c.Opt = opt
+	c.BaseSeed = baseSeed
+	c.Jobs = jobs
+	c.MinAlive = minAlive
+	c.Parallel = parallel
+	for _, p := range splitList(deviceList) {
+		var d int
+		if _, err := fmt.Sscanf(p, "%d", &d); err != nil {
+			fatal(fmt.Errorf("bad -devices entry %q: %w", p, err))
+		}
+		c.DeviceCounts = append(c.DeviceCounts, d)
+	}
+	for _, s := range splitList(routerList) {
+		r, err := cluster.ParseRouterKind(s)
+		if err != nil {
+			fatal(err)
+		}
+		c.Routers = append(c.Routers, r)
+	}
+	for _, s := range splitList(failureList) {
+		k, err := cluster.ParseFailureKind(s)
+		if err != nil {
+			fatal(err)
+		}
+		c.Kinds = append(c.Kinds, k)
+	}
+	if progress {
+		c.Progress = func(done, total int, r faultsim.ClusterResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %v -> %v\n", done, total, r.Case, r.Outcome)
+		}
+	}
+	rep, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}
+
 func splitList(s string) []string {
 	var out []string
 	for _, p := range strings.Split(s, ",") {
@@ -194,6 +355,22 @@ func splitList(s string) []string {
 func kindNames() string {
 	names := make([]string, 0)
 	for _, k := range faultsim.AllKinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ",")
+}
+
+func routerNames() string {
+	names := make([]string, 0)
+	for _, r := range cluster.AllRouters() {
+		names = append(names, r.String())
+	}
+	return strings.Join(names, ",")
+}
+
+func failureNames() string {
+	names := make([]string, 0)
+	for _, k := range cluster.AllFailureKinds() {
 		names = append(names, k.String())
 	}
 	return strings.Join(names, ",")

@@ -8,10 +8,12 @@ package gpulp_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"reflect"
 	"testing"
 
+	"gpulp/internal/cluster"
 	"gpulp/internal/core"
 	"gpulp/internal/faultsim"
 	"gpulp/internal/gpusim"
@@ -334,5 +336,86 @@ func TestParallelDeterminismRateSweep(t *testing.T) {
 	parallel := run(detWorkers)
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Errorf("rate-sweep reports diverged\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// clusterRun captures every observable output of one multi-device
+// cluster run with injected failures.
+type clusterRun struct {
+	report  []byte // report JSON
+	errText string
+	pool    []byte
+}
+
+func runCluster(t *testing.T, workers int) clusterRun {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Devices = 3
+	cfg.Jobs = 6
+	cfg.BlocksPerJob = 2
+	cfg.BlockThreads = 32
+	cfg.Seed = 0x7001
+	cfg.Dev.Workers = workers
+	cfg.Failures = []cluster.FailurePlan{
+		{Job: 1, Kind: cluster.Hang, AfterBlocks: 1},
+		{Job: 4, Kind: cluster.FailStop, AfterBlocks: 1},
+	}
+	cl := cluster.MustNew(cfg)
+	rep, err := cl.Run()
+	if err != nil {
+		t.Fatalf("workers=%d: cluster run failed: %v", workers, err)
+	}
+	if verr := cl.Verify(); verr != nil {
+		t.Fatalf("workers=%d: pool audit failed: %v", workers, verr)
+	}
+	js, jerr := json.Marshal(rep)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	return clusterRun{report: js, pool: cl.Pool().NVMImage()}
+}
+
+// TestParallelDeterminismCluster drives a 3-device cluster through a hang
+// and a fail-stop — heartbeat-timeout detection, shard fencing, durable
+// harvest, cross-device re-execution — under both engines and asserts
+// byte-identical cluster reports and shared pool images.
+func TestParallelDeterminismCluster(t *testing.T) {
+	serial := runCluster(t, 1)
+	parallel := runCluster(t, detWorkers)
+	if !bytes.Equal(serial.report, parallel.report) {
+		t.Errorf("cluster reports diverged\nserial:   %s\nparallel: %s", serial.report, parallel.report)
+	}
+	if !bytes.Equal(serial.pool, parallel.pool) {
+		t.Errorf("shared pool images diverged")
+	}
+}
+
+// TestParallelDeterminismClusterCampaign runs a reduced multi-device
+// failover campaign under both gpusim engine widths and both host
+// fan-out widths, comparing the full structured reports — the
+// acceptance pin for the cluster's Workers=1 vs Workers=8 contract.
+func TestParallelDeterminismClusterCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster campaign smoke test skipped in -short mode")
+	}
+	run := func(workers, hostPar int) *faultsim.ClusterReport {
+		c := faultsim.DefaultClusterCampaign(2)
+		c.DeviceCounts = []int{2, 3}
+		c.Jobs = 4
+		c.BlocksPerJob = 2
+		c.BlockThreads = 32
+		c.Opt.Dev.Workers = workers
+		c.Parallel = hostPar
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatalf("workers=%d parallel=%d: cluster campaign failed: %v", workers, hostPar, err)
+		}
+		return rep
+	}
+	base := run(1, 1)
+	for _, alt := range []*faultsim.ClusterReport{run(detWorkers, 1), run(1, 8), run(detWorkers, 8)} {
+		if !reflect.DeepEqual(base, alt) {
+			t.Errorf("cluster campaign reports diverged\nbase: %+v\nalt:  %+v", base, alt)
+		}
 	}
 }

@@ -1,0 +1,696 @@
+// Package cluster simulates a fault-tolerant multi-GPU cluster over the
+// repo's single-device stack: N gpusim devices advance under one shared
+// simulated clock, a pluggable router dispatches kernel launches (jobs)
+// across them, and every completed job's durable bytes are published
+// into a shared durable memsim image (the pool) — each job is a shard of
+// the cluster's persistent state.
+//
+// The robustness core is the device-failure protocol. A seeded injector
+// arms whole-device failures mid-launch: fail-stop (instant death, cache
+// lost, NVM harvestable), hang (silence detected when the per-device
+// heartbeat stream stays quiet past a timeout, then an external abort
+// reclaims a crash-consistent image), and transient stall (hang followed
+// by a rejoin). Failover fences the lost shard's range in the pool,
+// harvests the dead device's durable bytes — the partially-persisted
+// data slice plus its Lazy Persistency checksum table, which encodes
+// presence in-band and therefore survives a raw copy — imports them into
+// a surviving device at identical addresses, and drives the existing
+// checksum machinery (core.RecoverBlocks) to validate and re-execute
+// exactly the in-flight blocks there, with bounded retries and
+// deterministic exponential backoff across survivors. When the failover
+// budget or the MinAlive quorum is exhausted, the run degrades
+// gracefully to a typed DegradedClusterError: completed shards stay
+// valid and published, lost shards stay fenced.
+//
+// Everything is deterministic: the same Config produces a bit-identical
+// report and pool image at any gpusim Workers value and any host
+// GOMAXPROCS — the repo's determinism contract extends to whole-cluster
+// failover.
+package cluster
+
+import (
+	"fmt"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// Config fixes one cluster run.
+type Config struct {
+	// Devices is the number of simulated GPUs (>= 1).
+	Devices int
+	// Jobs is the number of kernel launches to dispatch (default 8).
+	// Job j computes the shard of blocks [j*BlocksPerJob, (j+1)*BlocksPerJob).
+	Jobs int
+	// BlocksPerJob and BlockThreads fix the per-job geometry
+	// (default 4 × 32).
+	BlocksPerJob int
+	// BlockThreads is the threads per block.
+	BlockThreads int
+	// Router selects the dispatch policy (default RoundRobin);
+	// CustomRouter overrides it with a caller-provided implementation.
+	Router       RouterKind
+	CustomRouter Router
+	// Seed salts the fill pattern and derived values.
+	Seed uint64
+	// Mem and Dev configure every device's private hierarchy (and the
+	// pool); zero values take the platform defaults.
+	Mem memsim.Config
+	Dev gpusim.Config
+	// LP selects the persistency design point. BlocksPerJob must be a
+	// multiple of the fusion factor so shard boundaries align to regions.
+	LP core.Config
+	// HeartbeatTimeout is the silence (in simulated cycles past the last
+	// heartbeat) after which a hung device is declared lost (default
+	// 25_000).
+	HeartbeatTimeout int64
+	// MaxFailovers bounds the failover attempts per lost job (default 3).
+	MaxFailovers int
+	// BackoffBase is the deterministic exponential backoff unit: retry
+	// attempt a (a >= 1) waits BackoffBase << (a-1) cycles (default 1024).
+	BackoffBase int64
+	// MaxRounds bounds each failover attempt's validate→re-execute loop
+	// (default 3).
+	MaxRounds int
+	// MinAlive is the quorum: when fewer devices remain non-dead, the
+	// cluster stops accepting and failing over work (default 1).
+	MinAlive int
+	// Failures are the injected device failures, keyed by job.
+	Failures []FailurePlan
+	// FailRecoveryAttempts is a test hook: the first N failover attempts
+	// die themselves (the recovering device fail-stops before validating),
+	// exercising retry, backoff and degraded paths deterministically.
+	FailRecoveryAttempts int
+}
+
+// DefaultConfig returns a 2-device round-robin cluster over the platform
+// defaults.
+func DefaultConfig() Config {
+	return Config{
+		Devices: 2,
+		Mem:     memsim.DefaultConfig(),
+		Dev:     gpusim.DefaultConfig(),
+		LP:      core.DefaultConfig(),
+	}
+}
+
+// withDefaults fills unset knobs in place.
+func (c *Config) withDefaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 8
+	}
+	if c.BlocksPerJob <= 0 {
+		c.BlocksPerJob = 4
+	}
+	if c.BlockThreads <= 0 {
+		c.BlockThreads = 32
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 25_000
+	}
+	if c.MaxFailovers <= 0 {
+		c.MaxFailovers = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 1024
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 3
+	}
+	if c.MinAlive <= 0 {
+		c.MinAlive = 1
+	}
+	if c.Mem.LineSize == 0 {
+		c.Mem = memsim.DefaultConfig()
+	}
+	if c.Dev.NumSMs == 0 {
+		c.Dev = gpusim.DefaultConfig()
+	}
+}
+
+// Validate reports the first configuration error.
+func (c *Config) Validate() error {
+	if c.Devices < 1 {
+		return fmt.Errorf("cluster: Devices must be >= 1 (got %d)", c.Devices)
+	}
+	if c.MinAlive > c.Devices {
+		return fmt.Errorf("cluster: MinAlive %d exceeds Devices %d", c.MinAlive, c.Devices)
+	}
+	if c.Router < 0 || c.Router >= numRouters {
+		return fmt.Errorf("cluster: unknown router kind %d", int(c.Router))
+	}
+	fusion := c.LP.Fusion
+	if fusion < 1 {
+		fusion = 1
+	}
+	if c.BlocksPerJob%fusion != 0 {
+		return fmt.Errorf("cluster: BlocksPerJob %d must be a multiple of LP fusion %d (shards must align to regions)",
+			c.BlocksPerJob, fusion)
+	}
+	seen := map[int]bool{}
+	for _, p := range c.Failures {
+		if p.Job < 0 || p.Job >= c.Jobs {
+			return fmt.Errorf("cluster: failure plan targets job %d outside [0,%d)", p.Job, c.Jobs)
+		}
+		if seen[p.Job] {
+			return fmt.Errorf("cluster: duplicate failure plan for job %d", p.Job)
+		}
+		seen[p.Job] = true
+		if p.Kind < 0 || p.Kind >= numFailureKinds {
+			return fmt.Errorf("cluster: failure plan for job %d has unknown kind %d", p.Job, int(p.Kind))
+		}
+		if p.AfterBlocks < 0 || p.AfterBlocks > c.BlocksPerJob {
+			return fmt.Errorf("cluster: failure plan for job %d fails after %d blocks (job has %d)",
+				p.Job, p.AfterBlocks, c.BlocksPerJob)
+		}
+	}
+	return nil
+}
+
+// node is one device and its private simulated hierarchy.
+type node struct {
+	id    int
+	mem   *memsim.Memory
+	dev   *gpusim.Device
+	lp    *core.LP
+	out   memsim.Region
+	state DeviceState
+	// freeAt is when the device's launch queue drains; rejoinAt is when a
+	// stalled device becomes routable again.
+	freeAt   int64
+	rejoinAt int64
+	busy     int64
+	jobs     int
+}
+
+// DeviceReport is the per-device slice of a cluster Report.
+type DeviceReport struct {
+	ID         int         `json:"id"`
+	State      DeviceState `json:"state"`
+	Jobs       int         `json:"jobs"`
+	BusyCycles int64       `json:"busy_cycles"`
+}
+
+// Report summarizes one cluster run. It is a pure function of the
+// Config — bit-identical at any Workers or GOMAXPROCS.
+type Report struct {
+	Devices   int        `json:"devices"`
+	Jobs      int        `json:"jobs"`
+	Router    RouterKind `json:"router"`
+	Completed int        `json:"completed"`
+	// FailedOver counts jobs recovered on a survivor; Failovers counts
+	// attempts (>= FailedOver when retries or cascades happened).
+	FailedOver int   `json:"failed_over"`
+	Failovers  int   `json:"failovers"`
+	LostJobs   []int `json:"lost_jobs,omitempty"`
+	// HeartbeatTimeouts counts hang/stall detections; Rejoins counts
+	// stalled devices that came back.
+	HeartbeatTimeouts int `json:"heartbeat_timeouts"`
+	Rejoins           int `json:"rejoins"`
+	// ReexecutedBlocks is how many blocks cross-device recovery had to
+	// re-execute (first-round validation failures of successful
+	// failovers).
+	ReexecutedBlocks int `json:"reexecuted_blocks"`
+	// BackoffCycles is simulated time spent in failover retry backoff.
+	BackoffCycles int64 `json:"backoff_cycles"`
+	// MakespanCycles is the shared-clock completion time of the run.
+	MakespanCycles int64 `json:"makespan_cycles"`
+	// Coverage is completed jobs over total jobs.
+	Coverage  float64        `json:"coverage"`
+	PerDevice []DeviceReport `json:"per_device"`
+}
+
+// Cluster is one runnable cluster instance.
+type Cluster struct {
+	cfg    Config
+	grid   gpusim.Dim3
+	blk    gpusim.Dim3
+	pool   *memsim.Memory
+	nodes  []*node
+	router Router
+	plans  map[int]FailurePlan
+	salt   uint32
+
+	now          int64 // shared-clock high-water mark outside device queues
+	done         []bool
+	lost         []int
+	failRecovery int
+	rep          *Report
+	ran          bool
+}
+
+// splitmix advances a SplitMix64 state — seed derivation without global
+// randomness.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New builds a cluster: N devices with identical memory layouts (so a
+// dead device's durable bytes import into any survivor at the same
+// addresses), one shared durable pool, and the configured router.
+func New(cfg Config) (*Cluster, error) {
+	cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pool, err := memsim.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:          cfg,
+		grid:         gpusim.D1(cfg.Jobs * cfg.BlocksPerJob),
+		blk:          gpusim.D1(cfg.BlockThreads),
+		pool:         pool,
+		plans:        map[int]FailurePlan{},
+		salt:         uint32(splitmix(cfg.Seed ^ 0xc105_7e4d)),
+		done:         make([]bool, cfg.Jobs),
+		failRecovery: cfg.FailRecoveryAttempts,
+	}
+	n := c.grid.Size() * c.blk.Size()
+	for i := 0; i < cfg.Devices; i++ {
+		mem, err := memsim.New(cfg.Mem)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := gpusim.New(cfg.Dev, mem)
+		if err != nil {
+			return nil, err
+		}
+		dev.SetIdentity(i, fmt.Sprintf("gpu%d", i))
+		nd := &node{id: i, mem: mem, dev: dev}
+		nd.out = dev.Alloc("out", n*4)
+		nd.out.HostZero()
+		nd.lp = core.New(dev, cfg.LP, c.grid, c.blk)
+		c.nodes = append(c.nodes, nd)
+		if nd.out.Base != c.nodes[0].out.Base {
+			panic("cluster: device memory layouts diverged — cross-device import is unsound")
+		}
+	}
+	for _, p := range cfg.Failures {
+		if p.AfterBlocks <= 0 {
+			p.AfterBlocks = 1
+		}
+		if p.Kind == TransientStall && p.RejoinCycles <= 0 {
+			p.RejoinCycles = 4 * cfg.HeartbeatTimeout
+		}
+		c.plans[p.Job] = p
+	}
+	c.router = cfg.CustomRouter
+	if c.router == nil {
+		c.router = newRouter(cfg.Router)
+	}
+	c.rep = &Report{Devices: cfg.Devices, Jobs: cfg.Jobs, Router: cfg.Router}
+	return c, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Word returns the expected durable value of global thread gid — the
+// audit oracle for the pool image.
+func (c *Cluster) Word(gid int) uint32 { return uint32(gid)*2654435761 + c.salt }
+
+// Pool returns the shared durable image.
+func (c *Cluster) Pool() *memsim.Memory { return c.pool }
+
+// Owner returns job j's shard owner under the affinity placement.
+func (c *Cluster) Owner(j int) int { return j % c.cfg.Devices }
+
+// Done reports whether job j completed (directly or via failover).
+func (c *Cluster) Done(j int) bool { return c.done[j] }
+
+// jobBlocks returns job j's linear block indices.
+func (c *Cluster) jobBlocks(j int) []int {
+	out := make([]int, c.cfg.BlocksPerJob)
+	for i := range out {
+		out[i] = j*c.cfg.BlocksPerJob + i
+	}
+	return out
+}
+
+// jobBytes is the durable footprint of one job's output slice.
+func (c *Cluster) jobBytes() int { return c.cfg.BlocksPerJob * c.cfg.BlockThreads * 4 }
+
+// jobAddr returns the job's base address — identical in every device and
+// in the pool (layouts are asserted equal at construction).
+func (c *Cluster) jobAddr(j int) uint64 {
+	return c.nodes[0].out.Base + uint64(j*c.jobBytes())
+}
+
+// kernel is the cluster's dense LP-protected fill workload on nd: every
+// thread stores one checksummed word of its job's shard.
+func (c *Cluster) kernel(nd *node) gpusim.KernelFunc {
+	return func(b *gpusim.Block) {
+		r := nd.lp.Begin(b)
+		b.ForAll(func(t *gpusim.Thread) {
+			gid := t.GlobalLinear()
+			v := c.Word(gid)
+			t.StoreU32(nd.out, gid, v)
+			r.Update(t, v)
+		})
+		r.Commit()
+	}
+}
+
+// recompute refolds a block's durable outputs on nd for validation.
+func (c *Cluster) recompute(nd *node) core.RecomputeFunc {
+	return func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(t *gpusim.Thread) {
+			r.Update(t, t.LoadU32(nd.out, t.GlobalLinear()))
+		})
+	}
+}
+
+// alive counts the non-dead devices.
+func (c *Cluster) alive() int {
+	n := 0
+	for _, nd := range c.nodes {
+		if nd.state != Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// view builds the router-visible state of nd.
+func (nd *node) view() DeviceView {
+	at := nd.freeAt
+	if nd.state == Stalled && nd.rejoinAt > at {
+		at = nd.rejoinAt
+	}
+	return DeviceView{ID: nd.id, AvailableAt: at, BusyCycles: nd.busy, Jobs: nd.jobs}
+}
+
+// route picks the device for job j, or nil when quorum is lost.
+func (c *Cluster) route(j int) *node {
+	if c.alive() < c.cfg.MinAlive {
+		return nil
+	}
+	var cands []DeviceView
+	for _, nd := range c.nodes {
+		if nd.state != Dead {
+			cands = append(cands, nd.view())
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	pick := c.router.Pick(j, c.Owner(j), cands)
+	for _, nd := range c.nodes {
+		if nd.id == pick && nd.state != Dead {
+			return nd
+		}
+	}
+	panic(fmt.Sprintf("cluster: router %s picked non-candidate device %d for job %d", c.router.Name(), pick, j))
+}
+
+// Run dispatches every job, failing over around injected device losses.
+// The error is nil on full completion, or a typed *DegradedClusterError
+// (wrapping core.ErrDegraded) when jobs were lost.
+func (c *Cluster) Run() (*Report, error) {
+	if c.ran {
+		panic("cluster: Run called twice")
+	}
+	c.ran = true
+	for j := 0; j < c.cfg.Jobs; j++ {
+		nd := c.route(j)
+		if nd == nil {
+			// Quorum lost before this job could run: its shard joins the
+			// fenced lost set like any failover-exhausted shard.
+			c.pool.FenceRange(fmt.Sprintf("shard-job-%d", j), c.jobAddr(j), c.jobBytes())
+			c.lost = append(c.lost, j)
+			continue
+		}
+		c.runJob(j, nd)
+	}
+	c.finishReport()
+	if len(c.lost) > 0 {
+		var deadIDs []int
+		for _, nd := range c.nodes {
+			if nd.state == Dead {
+				deadIDs = append(deadIDs, nd.id)
+			}
+		}
+		return c.rep, &DegradedClusterError{
+			Coverage:    c.rep.Coverage,
+			LostJobs:    append([]int(nil), c.lost...),
+			LostBlocks:  len(c.lost) * c.cfg.BlocksPerJob,
+			DeadDevices: deadIDs,
+		}
+	}
+	return c.rep, nil
+}
+
+// runJob launches job j on nd, arming any injected failure, and hands a
+// failed launch to the failover path.
+func (c *Cluster) runJob(j int, nd *node) {
+	start := nd.freeAt
+	if nd.state == Stalled {
+		if nd.rejoinAt > start {
+			start = nd.rejoinAt
+		}
+		nd.state = Alive
+		nd.rejoinAt = 0
+		c.rep.Rejoins++
+	}
+
+	plan, hasPlan := c.plans[j]
+	if hasPlan {
+		switch plan.Kind {
+		case FailStop:
+			nd.dev.SetCrashTrigger(&gpusim.CrashTrigger{
+				AfterBlocks: plan.AfterBlocks,
+				Fire:        func(*gpusim.Device) { nd.mem.Crash() },
+			})
+		case Hang, TransientStall:
+			// The injected hang: the device goes silent after AfterBlocks.
+			// Simulated as an external abort at that block boundary — the
+			// volatile state is dropped exactly as the eventual reclaim of
+			// a genuinely hung device would leave it.
+			dev := nd.dev
+			nd.dev.SetHeartbeat(func(hb gpusim.Heartbeat) {
+				if hb.Blocks >= plan.AfterBlocks {
+					dev.RequestAbort()
+				}
+			})
+		}
+	}
+	res := nd.dev.LaunchSelected(fmt.Sprintf("job-%d", j), c.grid, c.blk, c.kernel(nd), c.jobBlocks(j))
+	nd.dev.SetHeartbeat(nil)
+	nd.dev.SetCrashTrigger(nil)
+	nd.busy += res.Cycles
+	nd.jobs++
+	end := start + res.Cycles
+	nd.freeAt = end
+
+	if !res.Interrupted {
+		c.publish(j, nd)
+		return
+	}
+
+	// The device failed mid-launch. Classify, charge detection latency,
+	// and fail the in-flight shard over.
+	kind := Hang // an un-planned interruption (e.g. watchdog) reads as a hang
+	if hasPlan {
+		kind = plan.Kind
+	}
+	detectAt := end
+	switch kind {
+	case FailStop:
+		nd.state = Dead
+	case Hang:
+		nd.state = Dead
+		detectAt = end + c.cfg.HeartbeatTimeout
+		c.rep.HeartbeatTimeouts++
+	case TransientStall:
+		nd.state = Stalled
+		detectAt = end + c.cfg.HeartbeatTimeout
+		nd.rejoinAt = detectAt + plan.RejoinCycles
+		c.rep.HeartbeatTimeouts++
+	}
+	if detectAt > c.now {
+		c.now = detectAt
+	}
+	c.failover(j, nd, detectAt)
+}
+
+// publish makes job j's durable bytes visible in the shared pool: flush
+// the owner's cache (the per-job durability sync point), then copy the
+// job's NVM slice into the pool at the identical address.
+func (c *Cluster) publish(j int, nd *node) {
+	nd.mem.FlushAll()
+	data := nd.mem.PeekNVM(c.jobAddr(j), c.jobBytes())
+	c.pool.HostWrite(c.jobAddr(j), data)
+	c.done[j] = true
+	c.rep.Completed++
+	if nd.freeAt > c.now {
+		c.now = nd.freeAt
+	}
+}
+
+// failover recovers job j, lost on dead at detectAt, on a surviving
+// device: fence the shard in the pool, harvest the dead device's durable
+// bytes, import them into a survivor, and re-execute the failed blocks
+// there with the existing checksum machinery. Bounded attempts with
+// deterministic exponential backoff; on exhaustion the shard stays
+// fenced and the job is recorded lost.
+func (c *Cluster) failover(j int, dead *node, detectAt int64) {
+	fence := fmt.Sprintf("shard-job-%d", j)
+	c.pool.FenceRange(fence, c.jobAddr(j), c.jobBytes())
+
+	// Harvest: the job's (partially persisted) data slice and the whole
+	// checksum table. The GlobalArray store encodes entry presence
+	// in-band (sentinel / contributor count), so a raw byte copy
+	// reproduces lookup semantics exactly on the importing device.
+	data := dead.mem.PeekNVM(c.jobAddr(j), c.jobBytes())
+	tableRegions := dead.lp.Store().TableRegions()
+	tables := make([][]byte, len(tableRegions))
+	for i, tr := range tableRegions {
+		tables[i] = dead.mem.PeekNVM(tr.Base, tr.Size)
+	}
+
+	tried := map[int]bool{dead.id: true}
+	for attempt := 0; attempt < c.cfg.MaxFailovers; attempt++ {
+		r := c.pickRecovery(tried)
+		if r == nil {
+			break // quorum lost or every survivor already tried
+		}
+		c.rep.Failovers++
+		start := detectAt
+		if r.state == Stalled {
+			if r.rejoinAt > start {
+				start = r.rejoinAt
+			}
+			r.state = Alive
+			r.rejoinAt = 0
+			c.rep.Rejoins++
+		}
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+		if attempt > 0 {
+			bo := c.cfg.BackoffBase << (attempt - 1)
+			start += bo
+			c.rep.BackoffCycles += bo
+		}
+
+		r.mem.HostWrite(c.jobAddr(j), data)
+		for i, tr := range r.lp.Store().TableRegions() {
+			r.mem.HostWrite(tr.Base, tables[i])
+		}
+
+		if c.failRecovery > 0 {
+			// Injected cascade: the recovering device dies before its
+			// validation launch completes.
+			c.failRecovery--
+			r.state = Dead
+			r.mem.Crash()
+			r.freeAt = start + c.cfg.HeartbeatTimeout
+			if r.freeAt > c.now {
+				c.now = r.freeAt
+			}
+			tried[r.id] = true
+			detectAt = r.freeAt
+			continue
+		}
+
+		rep, err := r.lp.RecoverBlocks(c.kernel(r), c.recompute(r), c.jobBlocks(j), core.ShardRecoverOpts{
+			MaxRounds:   c.cfg.MaxRounds,
+			BackoffBase: c.cfg.BackoffBase,
+		})
+		r.busy += rep.TotalCycles()
+		r.freeAt = start + rep.TotalCycles() + rep.BackoffCycles
+		r.jobs++
+		c.rep.BackoffCycles += rep.BackoffCycles
+		if err == nil {
+			if len(rep.FailedPerRound) > 0 {
+				c.rep.ReexecutedBlocks += rep.FailedPerRound[0]
+			}
+			c.pool.Unfence(fence)
+			c.publish(j, r)
+			c.rep.FailedOver++
+			return
+		}
+		// Typed failure on this survivor: try the next one.
+		tried[r.id] = true
+		detectAt = r.freeAt
+	}
+	c.lost = append(c.lost, j)
+}
+
+// pickRecovery chooses the least-loaded untried survivor (ties by lowest
+// id), preferring alive devices over stalled ones; nil when quorum is
+// below MinAlive or no candidate remains.
+func (c *Cluster) pickRecovery(tried map[int]bool) *node {
+	if c.alive() < c.cfg.MinAlive {
+		return nil
+	}
+	var best *node
+	better := func(a, b *node) bool {
+		if a.state != b.state {
+			return a.state == Alive
+		}
+		if a.busy != b.busy {
+			return a.busy < b.busy
+		}
+		return a.id < b.id
+	}
+	for _, nd := range c.nodes {
+		if nd.state == Dead || tried[nd.id] {
+			continue
+		}
+		if best == nil || better(nd, best) {
+			best = nd
+		}
+	}
+	return best
+}
+
+// finishReport freezes the per-device stats and cluster totals.
+func (c *Cluster) finishReport() {
+	makespan := c.now
+	for _, nd := range c.nodes {
+		if nd.freeAt > makespan {
+			makespan = nd.freeAt
+		}
+		c.rep.PerDevice = append(c.rep.PerDevice, DeviceReport{
+			ID: nd.id, State: nd.state, Jobs: nd.jobs, BusyCycles: nd.busy,
+		})
+	}
+	c.rep.MakespanCycles = makespan
+	c.rep.LostJobs = append([]int(nil), c.lost...)
+	c.rep.Coverage = float64(c.rep.Completed) / float64(c.cfg.Jobs)
+}
+
+// Verify audits the shared pool: every completed job's shard must hold
+// the expected fill values bit-exactly. Lost (fenced) shards are
+// excluded — that exclusion is exactly the degraded-mode contract.
+func (c *Cluster) Verify() error {
+	img := c.pool.NVMImage()
+	wordsPerJob := c.jobBytes() / 4
+	for j := 0; j < c.cfg.Jobs; j++ {
+		if !c.done[j] {
+			continue
+		}
+		for w := 0; w < wordsPerJob; w++ {
+			gid := j*wordsPerJob + w
+			addr := c.jobAddr(j) + uint64(w*4)
+			if got := memsim.ImageU32(img, addr); got != c.Word(gid) {
+				return fmt.Errorf("cluster: pool image diverges at job %d word %d (addr %#x): got %#x want %#x",
+					j, w, addr, got, c.Word(gid))
+			}
+		}
+	}
+	return nil
+}

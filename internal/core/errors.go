@@ -51,6 +51,11 @@ func (e *DegradedError) Error() string {
 // Unwrap ties every DegradedError to the ErrDegraded sentinel.
 func (e *DegradedError) Unwrap() error { return ErrDegraded }
 
+// Is makes errors.Is(err, ErrDegraded) hold for any chain containing a
+// DegradedError, consistently with the other typed recovery errors, even
+// when an intermediate wrapper hides the Unwrap chain.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
 // IsTypedRecoveryError reports whether err is (or wraps) one of the
 // typed recovery errors — the honest "damage beyond repair" (or
 // "serving degraded") outcomes a fault campaign accepts, as opposed to a

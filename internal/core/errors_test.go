@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestTypedErrorChains is the single table covering every typed error in
+// errors.go: each must satisfy errors.Is against its own sentinel (bare,
+// wrapped once, wrapped twice), errors.As where a concrete type exists,
+// IsTypedRecoveryError, and must NOT match the other sentinels.
+func TestTypedErrorChains(t *testing.T) {
+	sentinels := []error{ErrUnrecoverable, ErrStoreCorrupt, ErrDegraded}
+	degraded := &DegradedError{Coverage: 0.75, Regions: []int{3, 9}, Lines: []uint64{0x1000}}
+
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+	}{
+		{"unrecoverable bare", ErrUnrecoverable, ErrUnrecoverable},
+		{"unrecoverable wrapped", fmt.Errorf("round 3: %w", ErrUnrecoverable), ErrUnrecoverable},
+		{"unrecoverable double-wrapped", fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrUnrecoverable)), ErrUnrecoverable},
+		{"store-corrupt bare", ErrStoreCorrupt, ErrStoreCorrupt},
+		{"store-corrupt wrapped", fmt.Errorf("lookup: %w", ErrStoreCorrupt), ErrStoreCorrupt},
+		{"degraded bare", ErrDegraded, ErrDegraded},
+		{"degraded wrapped", fmt.Errorf("campaign: %w", ErrDegraded), ErrDegraded},
+		{"DegradedError bare", error(degraded), ErrDegraded},
+		{"DegradedError wrapped", fmt.Errorf("run: %w", degraded), ErrDegraded},
+		{"DegradedError double-wrapped", fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", degraded)), ErrDegraded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !errors.Is(tc.err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, %v) = false", tc.err, tc.sentinel)
+			}
+			if !IsTypedRecoveryError(tc.err) {
+				t.Fatalf("IsTypedRecoveryError(%v) = false", tc.err)
+			}
+			// No cross-matching between distinct sentinels.
+			for _, other := range sentinels {
+				if other == tc.sentinel {
+					continue
+				}
+				if errors.Is(tc.err, other) {
+					t.Fatalf("errors.Is(%v, %v) = true across sentinels", tc.err, other)
+				}
+			}
+		})
+	}
+}
+
+// TestDegradedErrorAs: the concrete type is recoverable from any depth of
+// wrapping, with its payload intact.
+func TestDegradedErrorAs(t *testing.T) {
+	orig := &DegradedError{Coverage: 0.5, Regions: []int{1, 2}, Lines: []uint64{0x40, 0x80}}
+	wrapped := fmt.Errorf("recovery: %w", fmt.Errorf("inner: %w", orig))
+
+	var de *DegradedError
+	if !errors.As(wrapped, &de) {
+		t.Fatal("errors.As failed to recover *DegradedError")
+	}
+	if de != orig {
+		t.Fatal("errors.As returned a different *DegradedError")
+	}
+	if de.Coverage != 0.5 || len(de.Regions) != 2 || len(de.Lines) != 2 {
+		t.Fatalf("payload lost through the chain: %+v", de)
+	}
+	// Unwrap lands on the sentinel directly, and the explicit Is method
+	// matches the sentinel without traversing Unwrap.
+	if !errors.Is(errors.Unwrap(orig), ErrDegraded) {
+		t.Fatal("DegradedError.Unwrap must yield ErrDegraded")
+	}
+	if !orig.Is(ErrDegraded) || orig.Is(ErrUnrecoverable) {
+		t.Fatal("DegradedError.Is must match exactly the ErrDegraded sentinel")
+	}
+}
+
+// TestIsTypedRecoveryErrorNegatives: ordinary errors and nil are not
+// typed recovery outcomes.
+func TestIsTypedRecoveryErrorNegatives(t *testing.T) {
+	if IsTypedRecoveryError(nil) {
+		t.Fatal("nil is not a typed recovery error")
+	}
+	if IsTypedRecoveryError(errors.New("disk on fire")) {
+		t.Fatal("ad-hoc errors are not typed recovery errors")
+	}
+	if IsTypedRecoveryError(fmt.Errorf("wrapping nothing special: %w", errors.New("x"))) {
+		t.Fatal("wrapped ad-hoc errors are not typed recovery errors")
+	}
+}

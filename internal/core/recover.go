@@ -163,6 +163,9 @@ type RecoveryReport struct {
 	// ValidateCycles and RecoverCycles are the simulated costs.
 	ValidateCycles int64
 	RecoverCycles  int64
+	// BackoffCycles is simulated time spent in deterministic exponential
+	// backoff between retry rounds (RecoverBlocks only; zero elsewhere).
+	BackoffCycles int64
 	// Tier is the highest escalation tier recovery needed (always
 	// TierSelective for ValidateAndRecover).
 	Tier RecoveryTier

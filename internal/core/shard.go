@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpulp/internal/checksum"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/hashtab"
+)
+
+// Shard recovery: validation and re-execution restricted to a subset of
+// the grid's blocks. A multi-device cluster shards one logical grid
+// across devices; when a device is lost mid-launch, a survivor imports
+// the dead device's durable bytes (data slice + checksum table) and
+// repairs only the in-flight shard's blocks — the cross-device selective
+// re-execution the cluster failover protocol is built on. The full-grid
+// Validate/ValidateAndRecover remain the single-device entry points.
+
+// normalizeBlocks sorts and dedupes a block subset, panicking (like
+// LaunchSelected) on indices outside the grid.
+func (lp *LP) normalizeBlocks(blocks []int) []int {
+	sel := make([]int, 0, len(blocks))
+	sel = append(sel, blocks...)
+	sort.Ints(sel)
+	out := sel[:0]
+	for i, b := range sel {
+		if b < 0 || b >= lp.grid.Size() {
+			panic(fmt.Sprintf("core: shard block %d out of grid %v", b, lp.grid))
+		}
+		if i > 0 && sel[i-1] == b {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// shardRegions returns the ascending region indices covered by the
+// (sorted, deduped) block subset, and a typed error when fusion groups
+// are only partially covered: a fused region's checksum is one merged
+// entry, so validating or re-executing a strict subset of its member
+// blocks cannot be made sound.
+func (lp *LP) shardRegions(sel []int) ([]int, error) {
+	var regs []int
+	count := map[int]int{}
+	for _, b := range sel {
+		reg := b / lp.fusion
+		if count[reg] == 0 {
+			regs = append(regs, reg)
+		}
+		count[reg]++
+	}
+	if lp.fusion > 1 {
+		for _, reg := range regs {
+			if count[reg] != lp.groupSize(reg) {
+				return nil, fmt.Errorf("core: shard covers %d of %d blocks of fused region %d: %w",
+					count[reg], lp.groupSize(reg), reg, ErrStoreCorrupt)
+			}
+		}
+	}
+	return regs, nil
+}
+
+// ValidateBlocks is Validate restricted to a subset of the grid's linear
+// block indices: only those blocks recompute their checksums, and only
+// their regions are looked up and compared. It returns the member blocks
+// of every failed region in ascending order. With region fusion, the
+// subset must cover whole fusion groups. An interrupted or
+// watchdog-aborted validation launch surfaces as a typed error wrapping
+// ErrUnrecoverable — the caller (a cluster failover path) must treat the
+// validating device as failed too.
+func (lp *LP) ValidateBlocks(recompute RecomputeFunc, blocks []int) ([]int, gpusim.LaunchResult, error) {
+	if recompute == nil {
+		return nil, gpusim.LaunchResult{}, fmt.Errorf("core: nil recompute function: %w", ErrStoreCorrupt)
+	}
+	sel := lp.normalizeBlocks(blocks)
+	if len(sel) == 0 {
+		return nil, gpusim.LaunchResult{}, nil
+	}
+	regs, err := lp.shardRegions(sel)
+	if err != nil {
+		return nil, gpusim.LaunchResult{}, err
+	}
+	var merger hashtab.Merger
+	if lp.fusion > 1 {
+		m, err := lp.merger()
+		if err != nil {
+			return nil, gpusim.LaunchResult{}, err
+		}
+		merger = m
+	}
+
+	// Phase 1: the selected blocks recompute their (partial) checksums.
+	perBlock := make([]checksum.State, lp.grid.Size())
+	res := lp.dev.LaunchSelected("lp-shard-validate", lp.grid, lp.blk, func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		recompute(b, r)
+		perBlock[b.LinearIdx] = r.reduce()
+	}, sel)
+	if res.Interrupted {
+		return nil, res, fmt.Errorf("core: shard validation launch aborted (%d/%d blocks): %w",
+			res.Blocks, len(sel), ErrUnrecoverable)
+	}
+	perRegion := make([]checksum.State, lp.regions)
+	for _, b := range sel {
+		perRegion[b/lp.fusion].Merge(perBlock[b])
+	}
+
+	// Phase 2: look up and compare only the covered regions. The lookup
+	// grid assigns one block per region, so selecting region indices runs
+	// exactly the covered regions' comparisons — the same kernel body as
+	// the full-grid Validate.
+	failedMark := make([]bool, lp.regions)
+	lres := lp.dev.LaunchSelected("lp-shard-validate-lookup", gpusim.D1(lp.regions), gpusim.D1(32), func(b *gpusim.Block) {
+		b.ForAll(func(t *gpusim.Thread) {
+			if t.Linear != 0 {
+				return
+			}
+			reg := b.LinearIdx
+			if lp.fusion > 1 {
+				stored, count := merger.LookupCount(t, uint64(reg))
+				if count != uint64(lp.groupSize(reg)) || !stored.Matches(perRegion[reg], lp.cfg.Checksum) {
+					failedMark[reg] = true
+				}
+				return
+			}
+			stored, ok := lp.st.Lookup(t, uint64(reg))
+			if !ok || !stored.Matches(perRegion[reg], lp.cfg.Checksum) {
+				failedMark[reg] = true
+			}
+		})
+	}, regs)
+	res.Cycles += lres.Cycles
+	if lres.Interrupted {
+		return nil, res, fmt.Errorf("core: shard lookup launch aborted: %w", ErrUnrecoverable)
+	}
+
+	var failed []int
+	for _, reg := range regs {
+		if !failedMark[reg] {
+			continue
+		}
+		lo := reg * lp.fusion
+		hi := lo + lp.fusion
+		if hi > lp.grid.Size() {
+			hi = lp.grid.Size()
+		}
+		for blk := lo; blk < hi; blk++ {
+			failed = append(failed, blk)
+		}
+	}
+	return failed, res, nil
+}
+
+// ShardRecoverOpts configures RecoverBlocks.
+type ShardRecoverOpts struct {
+	// MaxRounds bounds the validate→re-execute loop (default 3).
+	MaxRounds int
+	// BackoffBase, when positive, charges BackoffBase << (round-1)
+	// simulated cycles of deterministic exponential backoff before each
+	// retry round (the first repair round is free). The cost accumulates
+	// in RecoveryReport.BackoffCycles.
+	BackoffBase int64
+}
+
+// RecoverBlocks is selective recovery restricted to a block subset: it
+// validates the subset, re-executes the failed blocks with the original
+// kernel, flushes the repairs durable, and repeats — with deterministic
+// exponential backoff between rounds — until the subset validates clean
+// or MaxRounds is exhausted (a typed error wrapping ErrUnrecoverable).
+// Any launch aborted mid-recovery (watchdog or external RequestAbort)
+// also surfaces as a typed ErrUnrecoverable error, so a cluster failover
+// path can fail over again to the next surviving device.
+func (lp *LP) RecoverBlocks(kernel gpusim.KernelFunc, recompute RecomputeFunc, blocks []int, opts ShardRecoverOpts) (RecoveryReport, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+	var rep RecoveryReport
+	sel := lp.normalizeBlocks(blocks)
+	for round := 0; round < maxRounds; round++ {
+		failed, vres, err := lp.ValidateBlocks(recompute, sel)
+		rep.Rounds++
+		rep.ValidateCycles += vres.Cycles
+		if err != nil {
+			return rep, err
+		}
+		rep.FailedPerRound = append(rep.FailedPerRound, len(failed))
+		if len(failed) == 0 {
+			return rep, nil
+		}
+		if round > 0 && opts.BackoffBase > 0 {
+			rep.BackoffCycles += opts.BackoffBase << (round - 1)
+		}
+		if err := lp.repairBlocks(kernel, failed, &rep); err != nil {
+			return rep, err
+		}
+	}
+	failed, vres, err := lp.ValidateBlocks(recompute, sel)
+	rep.Rounds++
+	rep.ValidateCycles += vres.Cycles
+	if err != nil {
+		return rep, err
+	}
+	rep.FailedPerRound = append(rep.FailedPerRound, len(failed))
+	if len(failed) > 0 {
+		return rep, fmt.Errorf("core: %d shard blocks still invalid after %d recovery rounds: %w",
+			len(failed), maxRounds, ErrUnrecoverable)
+	}
+	return rep, nil
+}
+
+// repairBlocks re-executes exactly the failed blocks and flushes the
+// repairs durable, surfacing an aborted repair launch as a typed error.
+func (lp *LP) repairBlocks(kernel gpusim.KernelFunc, failed []int, rep *RecoveryReport) error {
+	if lp.fusion > 1 {
+		merger, err := lp.merger()
+		if err != nil {
+			return err
+		}
+		seen := map[int]bool{}
+		for _, blk := range failed {
+			if reg := blk / lp.fusion; !seen[reg] {
+				seen[reg] = true
+				merger.HostResetEntry(uint64(reg))
+			}
+		}
+	}
+	rres := lp.dev.LaunchSelected("lp-shard-recover", lp.grid, lp.blk, kernel, failed)
+	rep.RecoverCycles += rres.Cycles
+	if rres.Interrupted {
+		return fmt.Errorf("core: shard repair launch aborted (%d/%d blocks): %w",
+			rres.Blocks, len(failed), ErrUnrecoverable)
+	}
+	lp.dev.Mem().FlushAll()
+	return nil
+}

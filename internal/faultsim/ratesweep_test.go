@@ -134,3 +134,76 @@ func TestRateSweepRejectsBadRates(t *testing.T) {
 		t.Fatal("stuck rate 1.8 accepted")
 	}
 }
+
+// TestRateSweepEmptyRateListDefaults: an empty rate list is not an error
+// or an empty sweep — withDefaults installs the standard rate curve.
+func TestRateSweepEmptyRateListDefaults(t *testing.T) {
+	s := &RateSweep{Seeds: 1, Blocks: 16, BlockThreads: 32}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 || rep.Total != 4 {
+		t.Fatalf("defaulted sweep shape: points=%d total=%d, want 4/4", len(rep.Points), rep.Total)
+	}
+	want := []float64{0.002, 0.01, 0.05, 0.2}
+	for i, p := range rep.Points {
+		if p.TransientPerWrite != want[i] {
+			t.Fatalf("point %d swept rate %v, want %v (default curve, sweep order)", i, p.TransientPerWrite, want[i])
+		}
+	}
+}
+
+// TestRateSweepSingleSeed: a one-seed sweep is a legal degenerate case —
+// every point aggregates exactly one case and stays internally
+// consistent.
+func TestRateSweepSingleSeed(t *testing.T) {
+	s := DefaultRateSweep(1)
+	s.Rates = []float64{0, 0.05}
+	s.Blocks = 16
+	s.BlockThreads = 32
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("single-seed sweep violated the contract: %+v", rep.Failures)
+	}
+	for _, p := range rep.Points {
+		if p.Cases != 1 {
+			t.Fatalf("single-seed point aggregates %d cases", p.Cases)
+		}
+		if p.Healed+p.Degraded+p.Unrecoverable+p.Failures != 1 {
+			t.Fatalf("outcome counts do not partition the single case: %+v", p)
+		}
+	}
+}
+
+// TestRateSweepParallelAggregatesInSweepOrder: under the parallel path,
+// completion order is scheduling-dependent but the report's points must
+// stay in sweep (rate-list) order, including an out-of-sorted-order rate
+// list, and match the serial report exactly.
+func TestRateSweepParallelAggregatesInSweepOrder(t *testing.T) {
+	rates := []float64{0.1, 0, 0.02} // deliberately not sorted
+	run := func(parallel int) *RateReport {
+		s := DefaultRateSweep(2)
+		s.Rates = append([]float64(nil), rates...)
+		s.Blocks = 16
+		s.BlockThreads = 32
+		s.Parallel = parallel
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	par := run(8)
+	for i, p := range par.Points {
+		if p.TransientPerWrite != rates[i] {
+			t.Fatalf("parallel point %d is rate %v, want sweep-order %v", i, p.TransientPerWrite, rates[i])
+		}
+	}
+	if !reflect.DeepEqual(run(1), par) {
+		t.Fatal("parallel aggregation diverges from serial sweep order")
+	}
+}

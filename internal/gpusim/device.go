@@ -18,11 +18,67 @@ type Device struct {
 	storeHook StoreHook
 	traceSink func(LaunchTrace)
 	crash     *CrashTrigger
+	heartbeat HeartbeatFunc
+	// abortPending is set by RequestAbort and honored at the next block
+	// boundary of the launch in flight.
+	abortPending bool
+	// id and label identify the device in a multi-device topology.
+	id    int
+	label string
 	// launchName is the name of the launch in flight, read by the watchdog
 	// when it aborts. Written once per launch before any worker goroutine
 	// starts, so concurrent reads during the functional pass are safe.
 	launchName string
 }
+
+// Heartbeat is one liveness report from a launch in flight: the device
+// emits it after every thread-block commit. A cluster control plane uses
+// the stream to detect hangs (silence past a timeout) and to decide
+// where to inject failures.
+type Heartbeat struct {
+	// Device is the emitting device's identity (SetIdentity).
+	Device int
+	// Launch is the kernel name of the launch in flight.
+	Launch string
+	// Blocks is the number of blocks retired so far in this launch.
+	Blocks int
+	// Cycle is the greedy-schedule completion cycle of the latest block.
+	Cycle int64
+}
+
+// HeartbeatFunc observes launch heartbeats. It runs on the commit path —
+// after each block retires, at the identical point in the serial and
+// parallel engines — so it must not mutate device memory; calling
+// RequestAbort from inside it is the intended use.
+type HeartbeatFunc func(hb Heartbeat)
+
+// SetHeartbeat installs fn (nil to remove) and returns the previous one.
+func (d *Device) SetHeartbeat(fn HeartbeatFunc) HeartbeatFunc {
+	prev := d.heartbeat
+	d.heartbeat = fn
+	return prev
+}
+
+// SetIdentity names the device within a multi-device topology.
+func (d *Device) SetIdentity(id int, label string) {
+	d.id = id
+	d.label = label
+}
+
+// ID returns the identity set by SetIdentity (0 by default).
+func (d *Device) ID() int { return d.id }
+
+// Label returns the label set by SetIdentity ("" by default).
+func (d *Device) Label() string { return d.label }
+
+// RequestAbort asks the launch in flight to stop at its next block
+// boundary: the launch drops all volatile memory state (exactly the
+// durable image a power failure at that dispatch point would leave) and
+// returns with Interrupted and Aborted set. This is the external kill a
+// cluster control plane uses to reclaim a hung or stalled device. A
+// request made while no launch is in flight is dropped at the next
+// launch's entry.
+func (d *Device) RequestAbort() { d.abortPending = true }
 
 // StoreHook observes every 32-bit data store a kernel performs. It is the
 // mechanism behind directive-style instrumentation: a Lazy Persistency
@@ -111,6 +167,10 @@ type LaunchResult struct {
 	// The memory hierarchy has been crashed to a consistent durable image,
 	// so recovery can proceed as after a power failure.
 	Watchdog *WatchdogError
+	// Aborted reports that an external RequestAbort stopped the launch at
+	// a block boundary (Interrupted is also set, and the hierarchy has
+	// been crashed to a consistent durable image).
+	Aborted bool
 }
 
 // MS returns the launch duration in milliseconds (requires the config used
@@ -142,6 +202,9 @@ func (d *Device) launch(name string, grid, block Dim3, kernel KernelFunc, select
 		panic("gpusim: nil kernel")
 	}
 	d.launchName = name
+	// An abort request targets the launch in flight; a stale request made
+	// between launches must not kill the next one.
+	d.abortPending = false
 	threadsPerBlock := block.Size()
 	perSM := d.cfg.MaxBlocksPerSM
 	if byThreads := d.cfg.MaxThreadsPerSM / threadsPerBlock; byThreads < perSM {
@@ -243,6 +306,16 @@ func (d *Device) runBlocksSerial(grid, block Dim3, kernel KernelFunc, order []in
 		res.NVMBytes += b.totNVMBytes
 		res.AtomicStallCycles += b.totAtomicStall
 
+		if hb := d.heartbeat; hb != nil {
+			hb(Heartbeat{Device: d.id, Launch: d.launchName, Blocks: len(recs), Cycle: slots[slot]})
+		}
+		if d.abortPending {
+			d.abortPending = false
+			d.mem.Crash()
+			res.Interrupted = true
+			res.Aborted = true
+			break
+		}
 		if tr := d.crash; tr != nil && tr.AfterBlocks > 0 && len(recs) >= tr.AfterBlocks {
 			d.fireCrash()
 			res.Interrupted = true

@@ -171,6 +171,19 @@ func (d *Device) runBlocksParallel(grid, block Dim3, kernel KernelFunc, order []
 		res.NVMBytes += b.totNVMBytes
 		res.AtomicStallCycles += b.totAtomicStall
 
+		// Heartbeat and external abort: the identical observation point to
+		// the serial engine (after a block commits, before crash triggers).
+		if hb := d.heartbeat; hb != nil {
+			hb(Heartbeat{Device: d.id, Launch: d.launchName, Blocks: len(recs), Cycle: slots[slot]})
+		}
+		if d.abortPending {
+			d.abortPending = false
+			finish()
+			d.mem.Crash()
+			res.Interrupted = true
+			res.Aborted = true
+			return recs
+		}
 		if tr := d.crash; tr != nil && tr.AfterBlocks > 0 && len(recs) >= tr.AfterBlocks {
 			finish()
 			d.fireCrash()

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"fmt"
+
+	"gpulp/internal/faultsim"
+)
+
+// ClusterCampaign runs a reduced multi-device failover sweep (see
+// faultsim.ClusterCampaign and cmd/lpfault -cluster for the full
+// campaign): for every device count × failure kind × router cell, a
+// seeded injector kills one device mid-launch and cross-device failover
+// must recover the shared durable image bit-exactly on the survivors —
+// or degrade honestly to the typed cluster error. The table is the
+// failover-cost surface of the sharded persistency runtime.
+func (r *Runner) ClusterCampaign() (*Table, error) {
+	c := faultsim.DefaultClusterCampaign(3)
+	c.Opt.Scale = r.Opt.Scale
+	c.Opt.Dev = r.Opt.Dev
+	c.Opt.LP.Seed = r.Opt.Seed
+	c.Parallel = r.Opt.Parallel
+	rep, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:      "clustercampaign",
+		Title:   "multi-device failover sweep: device loss mid-launch vs sharded cross-device recovery",
+		Columns: []string{"devices", "failure", "router", "cases", "recovered", "degraded", "typed", "failed", "mean failovers", "mean reexec blocks", "mean makespan", "mean coverage"},
+	}
+	for _, cell := range rep.Cells {
+		tbl.AddRow(fmt.Sprint(cell.Devices), cell.Kind.String(), cell.Router.String(),
+			fmt.Sprint(cell.Cases), fmt.Sprint(cell.Recovered), fmt.Sprint(cell.Degraded),
+			fmt.Sprint(cell.TypedErrors), fmt.Sprint(cell.Failures),
+			fmt.Sprintf("%.2f", cell.MeanFailovers), fmt.Sprintf("%.2f", cell.MeanReexec),
+			fmt.Sprintf("%.0f", cell.MeanMakespan), fmt.Sprintf("%.4f", cell.MeanCoverage))
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("%d cases total; each kills one seeded job mid-launch (fail-stop, hang, or transient stall)", rep.Total),
+		"failover fences the lost shard, harvests the dead device's durable bytes (data + in-band checksum table), and re-executes on a survivor")
+	for _, f := range rep.Failures {
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("FAILURE: %v -> %v (%s)", f.Case, f.Outcome, f.Err))
+	}
+	return tbl, nil
+}

@@ -155,6 +155,7 @@ var Experiments = []Experiment{
 	{"recovery", "§II-A/§IV-A: crash, validation and recovery", (*Runner).Recovery},
 	{"faultcampaign", "robustness: seeded fault-injection campaign vs hardened recovery", (*Runner).FaultCampaign},
 	{"scrubcampaign", "robustness: media-error rate sweep vs self-healing recovery", (*Runner).ScrubCampaign},
+	{"clustercampaign", "robustness: multi-device failover sweep vs sharded cross-device recovery", (*Runner).ClusterCampaign},
 	{"epcompare", "§I/§II: Eager vs Lazy Persistency", (*Runner).EPCompare},
 	{"scaling", "ablation: LP overhead vs thread-block count", (*Runner).Scaling},
 	{"fusion", "ablation: region fusion factor (§IV-A enlargement)", (*Runner).Fusion},

@@ -1,0 +1,67 @@
+package memsim
+
+import "fmt"
+
+// Shard fencing: a cluster control plane fences the address range of a
+// shard whose owning device was lost, so that no device store or host
+// write can mutate the durable bytes while failover recovery is
+// re-executing the shard's blocks elsewhere. A write into a fenced range
+// is a protocol bug — publication raced recovery — so it panics rather
+// than returning an error the hot path would have to thread through.
+// Loads and peeks are unrestricted: harvesting a fenced shard's durable
+// bytes is exactly what recovery does.
+
+// FencedRange is one named write-fenced address range.
+type FencedRange struct {
+	Name string
+	Base uint64
+	Size int
+}
+
+// FenceRange write-fences [base, base+size). The name must be non-empty
+// and not currently fenced; size must be positive. Fencing guards new
+// Store and HostWrite mutations — write-backs of lines dirtied before
+// the fence was erected are not intercepted (the fence protocol flushes
+// or crashes the cache first).
+func (m *Memory) FenceRange(name string, base uint64, size int) {
+	if name == "" {
+		panic("memsim: FenceRange with empty name")
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("memsim: FenceRange(%q) with non-positive size %d", name, size))
+	}
+	for _, f := range m.fences {
+		if f.Name == name {
+			panic(fmt.Sprintf("memsim: fence %q already exists", name))
+		}
+	}
+	m.fences = append(m.fences, FencedRange{Name: name, Base: base, Size: size})
+}
+
+// Unfence removes the named fence, reporting whether it existed.
+func (m *Memory) Unfence(name string) bool {
+	for i, f := range m.fences {
+		if f.Name == name {
+			m.fences = append(m.fences[:i], m.fences[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Fences returns a copy of the active fenced ranges.
+func (m *Memory) Fences() []FencedRange {
+	out := make([]FencedRange, len(m.fences))
+	copy(out, m.fences)
+	return out
+}
+
+// checkFence panics when [addr, addr+size) overlaps a fenced range.
+func (m *Memory) checkFence(what string, addr uint64, size int) {
+	for _, f := range m.fences {
+		if addr < f.Base+uint64(f.Size) && addr+uint64(size) > f.Base {
+			panic(fmt.Sprintf("memsim: %s at %#x (%d bytes) into fenced range %q [%#x,%#x)",
+				what, addr, size, f.Name, f.Base, f.Base+uint64(f.Size)))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not mention %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestFenceBlocksWrites(t *testing.T) {
+	m := MustNew(tinyConfig())
+	m.HostWrite(0x100, make([]byte, 64))
+	m.FenceRange("shard", 0x100, 64)
+
+	mustPanic(t, `fenced range "shard"`, func() { m.HostWrite(0x100, []byte{1}) })
+	// Overlap from below and above is refused too.
+	mustPanic(t, "fenced range", func() { m.HostWrite(0xfc, make([]byte, 8)) })
+	mustPanic(t, "fenced range", func() { m.HostWrite(0x13c, make([]byte, 8)) })
+	mustPanic(t, "fenced range", func() { m.Store(AccessData, 0x120, []byte{1, 2, 3, 4}) })
+
+	// Adjacent, non-overlapping writes are fine.
+	m.HostWrite(0x0c0, make([]byte, 64))
+	m.HostWrite(0x140, make([]byte, 64))
+
+	// Loads and peeks stay unrestricted — harvesting reads fenced shards.
+	m.Load(AccessData, 0x100, 64)
+	_ = m.PeekNVM(0x100, 64)
+}
+
+func TestFenceLifecycle(t *testing.T) {
+	m := MustNew(tinyConfig())
+	m.FenceRange("a", 0, 64)
+	m.FenceRange("b", 1024, 64)
+	if got := len(m.Fences()); got != 2 {
+		t.Fatalf("Fences() has %d entries, want 2", got)
+	}
+	if !m.Unfence("a") {
+		t.Fatal("Unfence(a) reported missing")
+	}
+	if m.Unfence("a") {
+		t.Fatal("double Unfence(a) reported found")
+	}
+	// Range a is writable again; b still is not.
+	m.HostWrite(0, make([]byte, 64))
+	mustPanic(t, `"b"`, func() { m.HostWrite(1024, []byte{1}) })
+	if got := m.Fences(); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("Fences() = %+v, want only b", got)
+	}
+}
+
+func TestFenceValidation(t *testing.T) {
+	m := MustNew(tinyConfig())
+	mustPanic(t, "empty name", func() { m.FenceRange("", 0, 64) })
+	mustPanic(t, "non-positive size", func() { m.FenceRange("z", 0, 0) })
+	m.FenceRange("dup", 0, 64)
+	mustPanic(t, "already exists", func() { m.FenceRange("dup", 4096, 64) })
+}

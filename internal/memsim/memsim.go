@@ -181,6 +181,9 @@ type Memory struct {
 	// media is the online media-error model (see media.go); nil until the
 	// fault process is enabled or a stuck-at cell is planted.
 	media *mediaState
+	// fences are the active write-fenced ranges (see fence.go); nil until
+	// a fence is erected.
+	fences []FencedRange
 }
 
 // New creates a Memory with the given configuration. A bad configuration
@@ -377,6 +380,9 @@ func (m *Memory) Load(kind AccessKind, addr uint64, size int) ([]byte, AccessRes
 // Store writes buf at addr through the cache as a device access
 // (write-allocate, write-back).
 func (m *Memory) Store(kind AccessKind, addr uint64, buf []byte) AccessResult {
+	if m.fences != nil {
+		m.checkFence("device store", addr, len(buf))
+	}
 	m.stats.Stores[kind]++
 	l, res := m.access(addr, len(buf))
 	off := addr - l.tag
@@ -539,6 +545,9 @@ func (m *Memory) PeekNVM(addr uint64, size int) []byte {
 // persistent heap before kernel launch) and is not counted as device
 // traffic.
 func (m *Memory) HostWrite(addr uint64, buf []byte) {
+	if m.fences != nil {
+		m.checkFence("host write", addr, len(buf))
+	}
 	end := int(addr) + len(buf)
 	if end > len(m.nvm) {
 		m.ensureNVM(uint64(end-1) &^ uint64(m.cfg.LineSize-1))
