@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: all vet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak bench ci
+.PHONY: all vet lpvet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak bench ci
 
 all: ci
 
+# vet: go vet plus lpvet, the repo's own static-contract suite
+# (determinism, fencepair, persistbarrier, errcompare, seedplumb —
+# see DESIGN.md §7). Both must be clean.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/lpvet ./...
+
+# lpvet: just the static-contract suite, with per-analyzer docs via
+# `go run ./cmd/lpvet -list`.
+lpvet:
+	$(GO) run ./cmd/lpvet ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,62 @@
+// lpvet is the multichecker for this repo's persistency, determinism,
+// and fencing contracts. It type-checks the module offline (standard
+// library via the go command's export-data cache, module packages from
+// source) and runs five analyzers:
+//
+//	determinism     no wall clock, global rand, or unsorted map iteration
+//	                in contract packages
+//	errcompare      sentinel errors via errors.Is, typed errors via errors.As
+//	fencepair       every memsim FenceRange released on all paths
+//	persistbarrier  durable writes only through the Store/HostWrite barrier
+//	seedplumb       rand seeds threaded, never constant or package-level
+//
+// Intentional violations carry //lpvet:allow <analyzer> <reason>; an
+// allow without a reason, or one that suppresses nothing, is itself a
+// finding. Exit status 1 on any finding, 2 on usage or load errors.
+//
+// Usage:
+//
+//	lpvet [packages]    # go list patterns; default ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpulp/internal/analysis/lpvet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lpvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lpvet.Analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpvet:", err)
+		os.Exit(2)
+	}
+	findings, err := lpvet.Vet(cwd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lpvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

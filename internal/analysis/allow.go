@@ -1,0 +1,103 @@
+// The //lpvet:allow suppression pragma. A violation that is intentional
+// — a protocol that leaks a fence by design, a wall-clock budget in an
+// otherwise seed-deterministic checker — is exempted at the line that
+// triggers it, and the exemption must name the analyzer and give a
+// reason:
+//
+//	start := time.Now() //lpvet:allow determinism duration budget is wall-clock by design
+//
+// The pragma suppresses diagnostics from that analyzer on its own line
+// and on the line directly below (so it can sit above a statement). An
+// allow without a reason, naming an unknown analyzer, or suppressing
+// nothing is itself a diagnostic: exemptions must stay precise, reasoned,
+// and alive.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression comment.
+const AllowPrefix = "//lpvet:allow"
+
+// allowDirective is one parsed //lpvet:allow comment.
+type allowDirective struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// allowName is the pseudo-analyzer that reports pragma misuse.
+const allowName = "allow"
+
+// ApplyAllows filters diags through the //lpvet:allow pragmas found in
+// files, and appends a diagnostic for every malformed or unused pragma.
+// known names the valid analyzer names.
+func ApplyAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, diags []Diagnostic) []Diagnostic {
+	var dirs []*allowDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lpvet:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{c.Pos(), allowName,
+						"lpvet:allow must name an analyzer and give a reason"})
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{c.Pos(), allowName,
+						"lpvet:allow names unknown analyzer " + quoted(fields[0])})
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{c.Pos(), allowName,
+						"lpvet:allow " + fields[0] + " must give a reason"})
+				default:
+					dirs = append(dirs, &allowDirective{
+						pos:      c.Pos(),
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer == d.Analyzer && dir.file == pos.Filename &&
+				(dir.line == pos.Line || dir.line+1 == pos.Line) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			bad = append(bad, Diagnostic{dir.pos, allowName,
+				"lpvet:allow " + dir.analyzer + " suppresses nothing; remove it"})
+		}
+	}
+	return append(kept, bad...)
+}
+
+func quoted(s string) string { return `"` + s + `"` }

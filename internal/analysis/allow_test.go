@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseAllow parses src as a single file and returns the fset, file, and
+// a helper that builds a Diagnostic at the start of the given 1-based line.
+func parseAllow(t *testing.T, src string) (*token.FileSet, *ast.File, func(line int, analyzer, msg string) Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tf := fset.File(f.Pos())
+	at := func(line int, analyzer, msg string) Diagnostic {
+		return Diagnostic{Pos: tf.LineStart(line), Analyzer: analyzer, Message: msg}
+	}
+	return fset, f, at
+}
+
+var knownTest = map[string]bool{"determinism": true, "fencepair": true}
+
+func TestAllowSuppressesSameLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lpvet:allow determinism budget is wall-clock by design
+}
+`
+	fset, f, at := parseAllow(t, src)
+	diags := []Diagnostic{at(4, "determinism", "call to time.Now")}
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, diags)
+	if len(got) != 0 {
+		t.Fatalf("want suppression, got %v", got)
+	}
+}
+
+func TestAllowSuppressesNextLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lpvet:allow fencepair lost shard stays fenced by protocol
+	_ = 1
+}
+`
+	fset, f, at := parseAllow(t, src)
+	diags := []Diagnostic{at(5, "fencepair", "FenceRange not released")}
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, diags)
+	if len(got) != 0 {
+		t.Fatalf("want suppression, got %v", got)
+	}
+}
+
+func TestAllowWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lpvet:allow determinism reason here
+}
+`
+	fset, f, at := parseAllow(t, src)
+	diags := []Diagnostic{at(4, "fencepair", "FenceRange not released")}
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, diags)
+	// The fencepair diagnostic survives, and the determinism allow is
+	// now unused — two diagnostics total.
+	if len(got) != 2 {
+		t.Fatalf("want 2 diagnostics (kept + unused allow), got %v", got)
+	}
+	if got[0].Analyzer != "fencepair" {
+		t.Errorf("kept diagnostic = %v, want fencepair", got[0])
+	}
+	if got[1].Analyzer != allowName || !strings.Contains(got[1].Message, "suppresses nothing") {
+		t.Errorf("unused-allow diagnostic = %v", got[1])
+	}
+}
+
+func TestAllowWithoutReasonIsDiagnostic(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lpvet:allow determinism
+}
+`
+	fset, f, at := parseAllow(t, src)
+	diags := []Diagnostic{at(4, "determinism", "call to time.Now")}
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, diags)
+	// An unreasoned allow suppresses nothing: the original diagnostic
+	// survives AND the pragma itself is reported.
+	if len(got) != 2 {
+		t.Fatalf("want 2 diagnostics (kept + malformed allow), got %v", got)
+	}
+	if got[0].Analyzer != "determinism" {
+		t.Errorf("kept diagnostic = %v, want determinism", got[0])
+	}
+	if got[1].Analyzer != allowName || !strings.Contains(got[1].Message, "must give a reason") {
+		t.Errorf("malformed-allow diagnostic = %v", got[1])
+	}
+}
+
+func TestAllowBareIsDiagnostic(t *testing.T) {
+	src := `package p
+
+//lpvet:allow
+func f() {}
+`
+	fset, f, _ := parseAllow(t, src)
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, nil)
+	if len(got) != 1 || got[0].Analyzer != allowName ||
+		!strings.Contains(got[0].Message, "must name an analyzer") {
+		t.Fatalf("want bare-allow diagnostic, got %v", got)
+	}
+}
+
+func TestAllowUnknownAnalyzerIsDiagnostic(t *testing.T) {
+	src := `package p
+
+//lpvet:allow nosuchpass reason here
+func f() {}
+`
+	fset, f, _ := parseAllow(t, src)
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, nil)
+	if len(got) != 1 || got[0].Analyzer != allowName ||
+		!strings.Contains(got[0].Message, `unknown analyzer "nosuchpass"`) {
+		t.Fatalf("want unknown-analyzer diagnostic, got %v", got)
+	}
+}
+
+func TestAllowUnusedIsDiagnostic(t *testing.T) {
+	src := `package p
+
+//lpvet:allow determinism this line is already clean
+func f() {}
+`
+	fset, f, _ := parseAllow(t, src)
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, nil)
+	if len(got) != 1 || got[0].Analyzer != allowName ||
+		!strings.Contains(got[0].Message, "suppresses nothing") {
+		t.Fatalf("want unused-allow diagnostic, got %v", got)
+	}
+}
+
+func TestAllowPrefixNotConfusedBySuffix(t *testing.T) {
+	src := `package p
+
+//lpvet:allowance is not our pragma
+func f() {}
+`
+	fset, f, _ := parseAllow(t, src)
+	got := ApplyAllows(fset, []*ast.File{f}, knownTest, nil)
+	if len(got) != 0 {
+		t.Fatalf("lookalike comment should be ignored, got %v", got)
+	}
+}

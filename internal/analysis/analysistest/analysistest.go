@@ -1,0 +1,148 @@
+// Package analysistest is a golden-fixture harness for lpvet analyzers,
+// modeled on x/tools' package of the same name. A fixture is a directory
+// of .go files (conventionally testdata/src/<pkg>/ under the analyzer)
+// annotated with want comments:
+//
+//	start := time.Now() // want "wall-clock"
+//
+// Each `// want "re1" "re2"` lists regexps, one per expected diagnostic
+// on that line. The harness type-checks the fixture against the real
+// module (fixtures may import gpulp packages) and fails the test on any
+// missing or unexpected diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gpulp/internal/analysis"
+	"gpulp/internal/analysis/load"
+)
+
+// Run checks analyzer a against the fixture package in dir (relative to
+// the test's working directory).
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := load.New(abs)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(abs, filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunOnPackage(a, loader.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := parseWants(loader.Fset, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Match diagnostics against expectations line by line.
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		p := loader.Fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		msgs := got[k]
+		matched := -1
+		for i, m := range msgs {
+			if w.re.MatchString(m) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: no diagnostic matching %q (got %v)", w.file, w.line, w.re, msgs)
+			continue
+		}
+		got[k] = append(msgs[:matched], msgs[matched+1:]...)
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts want comments from every fixture file.
+func parseWants(fset *token.FileSet, dir string) ([]want, error) {
+	var wants []want
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats, err := splitQuoted(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want: %v", path, i+1, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", path, i+1, err)
+				}
+				wants = append(wants, want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses `"a" "b c"` into its quoted pieces.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := strings.Index(s[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

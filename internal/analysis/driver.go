@@ -1,0 +1,71 @@
+// The lpvet driver: run every registered analyzer over loaded packages,
+// apply //lpvet:allow pragmas, and return ordered diagnostics.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PackageUnit is one loaded package handed to the driver — the concrete
+// pieces an analyzer pass needs (the loader's Package carries the same
+// fields; restated here to keep this package free of loader imports).
+type PackageUnit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Driver runs a set of analyzers over packages.
+type Driver struct {
+	Analyzers []*Analyzer
+}
+
+// RunPackages runs every analyzer over each package (respecting
+// ContractOnly) and applies the allow pragmas per package. Diagnostics
+// come back sorted by position.
+func (d *Driver) RunPackages(pkgs []PackageUnit) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range d.Analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		fset = p.Fset
+		var pkgDiags []Diagnostic
+		for _, a := range d.Analyzers {
+			if a.ContractOnly && !ContractPackages[p.Types.Path()] {
+				continue
+			}
+			diags, err := RunOnPackage(a, p.Fset, p.Files, p.Types, p.Info)
+			if err != nil {
+				return nil, err
+			}
+			pkgDiags = append(pkgDiags, diags...)
+		}
+		pkgDiags = ApplyAllows(p.Fset, p.Files, known, pkgDiags)
+		all = append(all, pkgDiags...)
+	}
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	sortDiagnostics(fset, all)
+	return all, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,287 @@
+// Package load type-checks this module's packages without any
+// third-party machinery. Module packages are parsed and checked from
+// source in dependency order; standard-library imports are satisfied
+// from the go command's compiled export data (`go list -export`), which
+// works offline and never recompiles the world. The result carries full
+// syntax plus go/types information, which is all an analyzer needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader loads and memoizes packages for one module.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	exports map[string]string // stdlib import path -> export data file
+	gc      types.Importer    // export-data importer for the standard library
+	mods    map[string]*modPkg
+	loaded  map[string]*Package
+	loading map[string]bool
+}
+
+type modPkg struct {
+	Dir     string
+	GoFiles []string
+}
+
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+// New creates a Loader for the module containing dir. It runs `go list`
+// once to map the module's full dependency closure: source locations for
+// module packages, export-data files for the standard library.
+func New(dir string) (*Loader, error) {
+	modRoot, modPath, err := moduleOf(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		ModRoot: modRoot,
+		ModPath: modPath,
+		exports: map[string]string{},
+		mods:    map[string]*modPkg{},
+		loaded:  map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	entries, err := goList(modRoot, "-export", "-deps", "./...")
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		l.note(e)
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+func (l *Loader) note(e listEntry) {
+	if e.Standard {
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+		return
+	}
+	l.mods[e.ImportPath] = &modPkg{Dir: e.Dir, GoFiles: e.GoFiles}
+}
+
+// lookupExport feeds the gc importer. A miss (a stdlib package outside
+// the module's dependency closure, e.g. pulled in by a fixture) falls
+// back to one more go list call, memoized.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		entries, err := goList(l.ModRoot, "-export", "-deps", path)
+		if err != nil {
+			return nil, fmt.Errorf("load: no export data for %q: %w", path, err)
+		}
+		for _, e := range entries {
+			l.note(e)
+		}
+		f, ok = l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+// Load resolves the given go-list patterns (e.g. "./...") to module
+// packages and returns them type-checked, in dependency order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	entries, err := goList(l.ModRoot, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, e := range entries {
+		if e.Standard {
+			continue
+		}
+		l.note(e)
+		p, err := l.loadPkg(e.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (l *Loader) loadPkg(path string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	mp, ok := l.mods[path]
+	if !ok {
+		return nil, fmt.Errorf("load: %q is not a package of module %s", path, l.ModPath)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var files []string
+	for _, f := range mp.GoFiles {
+		files = append(files, filepath.Join(mp.Dir, f))
+	}
+	p, err := l.check(path, mp.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.loaded[path] = p
+	return p, nil
+}
+
+// LoadDir parses every non-test .go file in dir as a single package with
+// the given import path and type-checks it against the module's
+// packages and the standard library. Fixture harnesses use this for
+// testdata packages that the go tool itself never builds.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") || strings.HasSuffix(de.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, de.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	return l.check(pkgPath, dir, files)
+}
+
+func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(pkgPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: type errors in %s:\n  %s", pkgPath, strings.Join(typeErrs, "\n  "))
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loaderImporter routes imports: module packages come from source (so
+// type identity is shared with the packages under analysis), everything
+// else from export data.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.loadPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+func moduleOf(dir string) (root, path string, err error) {
+	out, err := run(dir, "go", "env", "GOMOD")
+	if err != nil {
+		return "", "", err
+	}
+	gomod := strings.TrimSpace(out)
+	if gomod == "" || gomod == os.DevNull {
+		return "", "", fmt.Errorf("load: %s is not inside a module", dir)
+	}
+	root = filepath.Dir(gomod)
+	out, err = run(root, "go", "list", "-m")
+	if err != nil {
+		return "", "", err
+	}
+	return root, strings.TrimSpace(out), nil
+}
+
+func goList(dir string, args ...string) ([]listEntry, error) {
+	out, err := run(dir, "go", append([]string{"list", "-json"}, args...)...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func run(dir, name string, args ...string) (string, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("load: %s %s: %v\n%s", name, strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String(), nil
+}

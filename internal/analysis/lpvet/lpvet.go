@@ -1,0 +1,80 @@
+// Package lpvet assembles the full analyzer suite and runs it over
+// go-list patterns. cmd/lpvet is a thin wrapper around Vet; the root
+// lpvet_test.go calls it in-process to gate the tree.
+package lpvet
+
+import (
+	"fmt"
+
+	"gpulp/internal/analysis"
+	"gpulp/internal/analysis/load"
+	"gpulp/internal/analysis/passes/determinism"
+	"gpulp/internal/analysis/passes/errcompare"
+	"gpulp/internal/analysis/passes/fencepair"
+	"gpulp/internal/analysis/passes/persistbarrier"
+	"gpulp/internal/analysis/passes/seedplumb"
+)
+
+// Analyzers is the registered suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		errcompare.Analyzer,
+		fencepair.Analyzer,
+		persistbarrier.Analyzer,
+		seedplumb.Analyzer,
+	}
+}
+
+// Finding is one formatted diagnostic.
+type Finding struct {
+	Position string // file:line:col, module-relative where possible
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Vet loads the packages matched by patterns (resolved from dir's
+// module) and runs the suite. It returns the surviving findings —
+// anything suppressed by a reasoned //lpvet:allow is gone, and pragma
+// misuse appears as an "allow" finding.
+func Vet(dir string, patterns ...string) ([]Finding, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := load.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	units := make([]analysis.PackageUnit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, analysis.PackageUnit{
+			Fset:  loader.Fset,
+			Files: p.Files,
+			Types: p.Types,
+			Info:  p.Info,
+		})
+	}
+	d := &analysis.Driver{Analyzers: Analyzers()}
+	diags, err := d.RunPackages(units)
+	if err != nil {
+		return nil, err
+	}
+	// The driver already ordered diags by file position.
+	findings := make([]Finding, 0, len(diags))
+	for _, dg := range diags {
+		findings = append(findings, Finding{
+			Position: loader.Fset.Position(dg.Pos).String(),
+			Analyzer: dg.Analyzer,
+			Message:  dg.Message,
+		})
+	}
+	return findings, nil
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"gpulp/internal/analysis/analysistest"
+	"gpulp/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/src/determ")
+}

@@ -1,0 +1,106 @@
+// Fixture for the determinism analyzer: wall-clock reads, global rand,
+// and map-iteration order leaks, next to the idioms that must pass.
+package determ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want "wall-clock reads break seeded reproducibility"
+	return t.UnixNano()
+}
+
+func since(start time.Time) bool {
+	return time.Since(start) > time.Second // want "wall-clock reads"
+}
+
+func timerArm(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "wall-clock"
+}
+
+func globalSource() int {
+	return rand.Intn(10) // want "global source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global source"
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func durationMath(d time.Duration) time.Duration {
+	return d * 2 // fine: no clock read
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "without a subsequent sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapOrderSliceSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m { // want "order-sensitive sink"
+		fmt.Println(k, v)
+	}
+}
+
+func mapFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs { // fine: slice iteration is ordered
+		out = append(out, x)
+	}
+	return out
+}
+
+func loopLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int // declared inside the loop: order cannot leak out
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,183 @@
+// Package errcompare enforces the typed-error discipline: sentinel
+// errors (core.ErrDegraded, gpusim watchdog/recovery sentinels, …) are
+// tested with errors.Is, and typed error structs (*core.DegradedError,
+// *cluster.DegradedClusterError, *gpusim.WatchdogError, …) are extracted
+// with errors.As — never compared with == or picked apart with type
+// assertions and type switches on concrete types.
+//
+// Every recovery error in this repo wraps (DegradedError wraps a cause
+// and Is-matches ErrDegraded; DegradedClusterError wraps core errors), so
+// a == or a concrete type assertion silently stops matching the moment a
+// wrapping layer is added — exactly the churn ROADMAP items 3 and 4 will
+// cause. The one legitimate == against a sentinel lives inside an Is
+// method, which is exempt.
+package errcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gpulp/internal/analysis"
+)
+
+// Analyzer is the errcompare pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcompare",
+	Doc: "sentinel errors must be tested with errors.Is and typed errors " +
+		"extracted with errors.As, never == / != or concrete type assertions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isIsOrAsMethod(pass, fd) {
+				// The error's own Is/As implementation is where a raw
+				// comparison is the point.
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				checkComparison(pass, n)
+			}
+		case *ast.TypeAssertExpr:
+			checkAssertion(pass, n)
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(pass, n)
+		}
+		return true
+	})
+}
+
+// checkComparison flags err ==/!= someSentinel.
+func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		if v := sentinelVar(pass, side); v != nil {
+			pass.Reportf(cmp.Pos(),
+				"comparing an error with %s against sentinel %s breaks once the error is wrapped: use errors.Is",
+				cmp.Op, v.Name())
+			return
+		}
+	}
+}
+
+// sentinelVar returns the package-level error variable e refers to, if
+// any.
+func sentinelVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !analysis.IsErrorType(v.Type()) {
+		return nil
+	}
+	// Package-level: declared directly in the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// checkAssertion flags err.(*SomeError) on an error-typed operand.
+func checkAssertion(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // the x.(type) of a type switch, handled separately
+	}
+	xt := pass.TypesInfo.Types[ta.X].Type
+	if xt == nil || !analysis.IsErrorType(xt) {
+		return
+	}
+	if t := concreteErrorType(pass, ta.Type); t != "" {
+		pass.Reportf(ta.Pos(),
+			"type assertion to concrete error type %s misses wrapped errors: use errors.As", t)
+	}
+}
+
+// checkTypeSwitch flags `switch err.(type) { case *SomeError: }`.
+func checkTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		x = a.X.(*ast.TypeAssertExpr).X
+	case *ast.AssignStmt:
+		x = a.Rhs[0].(*ast.TypeAssertExpr).X
+	}
+	xt := pass.TypesInfo.Types[x].Type
+	if xt == nil || !analysis.IsErrorType(xt) {
+		return
+	}
+	for _, c := range ts.Body.List {
+		cc := c.(*ast.CaseClause)
+		for _, te := range cc.List {
+			if t := concreteErrorType(pass, te); t != "" {
+				pass.Reportf(te.Pos(),
+					"type switch case on concrete error type %s misses wrapped errors: use errors.As", t)
+			}
+		}
+	}
+}
+
+// concreteErrorType returns the display name of the concrete (named,
+// non-interface) error-implementing type denoted by te, or "".
+// Interface cases (upgrade patterns like interface{ Timeout() bool })
+// and nil are fine.
+func concreteErrorType(pass *analysis.Pass, te ast.Expr) string {
+	t := pass.TypesInfo.Types[te].Type
+	if t == nil {
+		return ""
+	}
+	base := t
+	if p, ok := base.(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return ""
+	}
+	if !analysis.ImplementsError(t) {
+		return ""
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// isIsOrAsMethod reports whether fd is an Is(error) bool or
+// As(any) bool method — the errors-package protocol implementations.
+func isIsOrAsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	name := fd.Name.Name
+	if name != "Is" && name != "As" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}

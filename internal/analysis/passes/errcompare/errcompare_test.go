@@ -1,0 +1,12 @@
+package errcompare_test
+
+import (
+	"testing"
+
+	"gpulp/internal/analysis/analysistest"
+	"gpulp/internal/analysis/passes/errcompare"
+)
+
+func TestErrcompare(t *testing.T) {
+	analysistest.Run(t, errcompare.Analyzer, "testdata/src/errfix")
+}

@@ -1,0 +1,81 @@
+// Fixture for the errcompare analyzer: sentinel comparisons and
+// concrete-type dispatch on errors, next to the errors.Is/As idioms and
+// the exempt Is-method pattern.
+package errfix
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+var ErrStale = errors.New("stale")
+
+type DepthError struct{ Depth int }
+
+func (e *DepthError) Error() string { return "depth exceeded" }
+
+// Is is the errors-package protocol: the raw comparison here is the
+// point, and the analyzer exempts it.
+func (e *DepthError) Is(target error) bool { return target == ErrGone }
+
+type flakyError struct{ tries int }
+
+func (e *flakyError) Error() string { return "flaky" }
+
+func badEquals(err error) bool {
+	return err == ErrGone // want "use errors.Is"
+}
+
+func badNotEquals(err error) bool {
+	if err != ErrStale { // want "use errors.Is"
+		return true
+	}
+	return false
+}
+
+func badReversed(err error) bool {
+	return ErrGone == err // want "use errors.Is"
+}
+
+func badAssert(err error) int {
+	if de, ok := err.(*DepthError); ok { // want "use errors.As"
+		return de.Depth
+	}
+	return 0
+}
+
+func badTypeSwitch(err error) string {
+	switch err.(type) {
+	case *DepthError: // want "use errors.As"
+		return "depth"
+	case *flakyError: // want "use errors.As"
+		return "flaky"
+	default:
+		return "other"
+	}
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func goodAs(err error) int {
+	var de *DepthError
+	if errors.As(err, &de) {
+		return de.Depth
+	}
+	return 0
+}
+
+func goodNil(err error) bool {
+	return err == nil // nil checks are fine
+}
+
+func goodInterfaceUpgrade(err error) bool {
+	if t, ok := err.(interface{ Timeout() bool }); ok { // interface case: fine
+		return t.Timeout()
+	}
+	return false
+}
+
+func goodLocalCompare(a, b int) bool {
+	return a == b // non-error comparison untouched
+}

@@ -1,0 +1,418 @@
+// Package fencepair checks that every memsim write-fence erected with
+// (*Memory).FenceRange is released with Unfence on all paths out of the
+// erecting function — including early error returns — or covered by a
+// deferred Unfence (which also covers panics).
+//
+// The walk is lostcancel-style but structural: a path-sensitive pass
+// over the function body tracks the set of live FenceRange call sites,
+// merging at branch joins and reporting any fence still live at a
+// return or at fall-off-the-end. A protocol that leaks a fence by
+// design (a failed-over shard stays fenced forever) documents itself
+// with //lpvet:allow fencepair <reason>.
+//
+// The runtime counterpart: memsim panics when a Store or HostWrite lands
+// in a fenced range, and the cluster campaign audits the pool image —
+// both only fire on the schedules a test happens to execute.
+package fencepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gpulp/internal/analysis"
+)
+
+// Analyzer is the fencepair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fencepair",
+	Doc: "every memsim.FenceRange must be matched by Unfence on all paths " +
+		"(or a deferred Unfence), so no code path leaks a write fence",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Fast path: no FenceRange call, nothing to track. Function literals
+	// inside fd are walked as part of the same body; a fence erected in a
+	// closure is attributed to the closure's paths only (handled below by
+	// skipping FuncLit bodies in the statement walk and recursing).
+	if !containsFenceCall(pass, fd.Body) {
+		return
+	}
+	w := &walker{pass: pass}
+	// A deferred Unfence anywhere in the function covers every exit,
+	// including panics.
+	if w.hasDeferredUnfence(fd.Body) {
+		return
+	}
+	out := w.seq(fd.Body.List, nil)
+	w.flush(out.fall)
+	for pos := range w.leaked {
+		pass.Reportf(pos, "fence erected here can reach a function exit without Unfence "+
+			"(add a deferred Unfence, release it on every path, or document the leak with %s fencepair <reason>)",
+			analysis.AllowPrefix)
+	}
+}
+
+// flow summarizes walking a statement (list): fall is the set of live
+// fence positions on paths that fall through; reachable reports whether
+// any path falls through at all.
+type flow struct {
+	fall      fenceSet
+	reachable bool
+}
+
+// fenceSet is the set of live FenceRange call positions on some path.
+type fenceSet map[token.Pos]bool
+
+func union(a, b fenceSet) fenceSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := fenceSet{}
+	for p := range a {
+		out[p] = true
+	}
+	for p := range b {
+		out[p] = true
+	}
+	return out
+}
+
+type walker struct {
+	pass   *analysis.Pass
+	leaked map[token.Pos]bool
+	// ctxs tracks enclosing breakable statements; break/continue route
+	// their fence state to the matching context's exit set, which the
+	// loop/switch folds into its own fall-through.
+	ctxs []*branchCtx
+}
+
+// branchCtx is one enclosing for/range (isLoop) or switch/select.
+type branchCtx struct {
+	isLoop bool
+	exits  fenceSet
+}
+
+func (w *walker) push(isLoop bool) *branchCtx {
+	c := &branchCtx{isLoop: isLoop}
+	w.ctxs = append(w.ctxs, c)
+	return c
+}
+
+func (w *walker) pop() { w.ctxs = w.ctxs[:len(w.ctxs)-1] }
+
+// branchExit records state flowing out of a break (innermost breakable)
+// or continue (innermost loop). Labeled branches conservatively target
+// the innermost matching context: the state still unions outward through
+// every enclosing fall-through, so this can only over-approximate where
+// the fence is live — the safe direction.
+func (w *walker) branchExit(tok token.Token, state fenceSet) {
+	for i := len(w.ctxs) - 1; i >= 0; i-- {
+		c := w.ctxs[i]
+		if tok == token.CONTINUE && !c.isLoop {
+			continue
+		}
+		c.exits = union(c.exits, state)
+		return
+	}
+}
+
+// flush records every fence in s as leaked.
+func (w *walker) flush(s fenceSet) {
+	for p := range s {
+		if w.leaked == nil {
+			w.leaked = map[token.Pos]bool{}
+		}
+		w.leaked[p] = true
+	}
+}
+
+// seq walks a statement list with entry state in, returning the join of
+// all fall-through paths.
+func (w *walker) seq(stmts []ast.Stmt, in fenceSet) flow {
+	cur := flow{fall: in, reachable: true}
+	for _, s := range stmts {
+		if !cur.reachable {
+			// Dead code after return/panic: still walk for nested fences
+			// in closures, but with an empty state.
+			w.stmt(s, nil)
+			continue
+		}
+		cur = w.stmt(s, cur.fall)
+	}
+	return cur
+}
+
+// stmt walks one statement. in is the live-fence set on entry.
+func (w *walker) stmt(s ast.Stmt, in fenceSet) flow {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return flow{w.exprEffect(s.X, in), !isNoReturn(w.pass, s.X)}
+	case *ast.AssignStmt:
+		out := in
+		for _, e := range s.Rhs {
+			out = w.exprEffect(e, out)
+		}
+		return flow{out, true}
+	case *ast.DeclStmt, *ast.EmptyStmt, *ast.IncDecStmt, *ast.SendStmt:
+		return flow{in, true}
+	case *ast.ReturnStmt:
+		out := in
+		for _, e := range s.Results {
+			out = w.exprEffect(e, out)
+		}
+		w.flush(out)
+		return flow{nil, false}
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			w.branchExit(s.Tok, in)
+		}
+		// goto: control flow we do not model; the state is dropped, which
+		// can only under-report.
+		return flow{nil, false}
+	case *ast.BlockStmt:
+		return w.seq(s.List, in)
+	case *ast.IfStmt:
+		st := in
+		if s.Init != nil {
+			f := w.stmt(s.Init, st)
+			st = f.fall
+		}
+		st = w.exprEffect(s.Cond, st)
+		then := w.seq(s.Body.List, st)
+		els := flow{fall: st, reachable: true}
+		if s.Else != nil {
+			els = w.stmt(s.Else, st)
+		}
+		return joinBranches(then, els)
+	case *ast.ForStmt:
+		st := in
+		if s.Init != nil {
+			st = w.stmt(s.Init, st).fall
+		}
+		if s.Cond != nil {
+			st = w.exprEffect(s.Cond, st)
+		}
+		// The body may run zero times (post-loop keeps the entry fences),
+		// leave a fence held on its fall-through, or carry one out via
+		// break/continue; post-loop unions all three. Returns inside the
+		// body are checked in the walk.
+		ctx := w.push(true)
+		body := w.seq(s.Body.List, st)
+		w.pop()
+		if s.Cond == nil && !hasBreak(s.Body) {
+			return flow{nil, false} // for{} without break never falls through
+		}
+		return flow{union(union(st, body.fall), ctx.exits), true}
+	case *ast.RangeStmt:
+		st := w.exprEffect(s.X, in)
+		ctx := w.push(true)
+		body := w.seq(s.Body.List, st)
+		w.pop()
+		return flow{union(union(st, body.fall), ctx.exits), true}
+	case *ast.SwitchStmt:
+		st := in
+		if s.Init != nil {
+			st = w.stmt(s.Init, st).fall
+		}
+		if s.Tag != nil {
+			st = w.exprEffect(s.Tag, st)
+		}
+		return w.caseBody(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		st := in
+		if s.Init != nil {
+			st = w.stmt(s.Init, st).fall
+		}
+		return w.caseBody(s.Body, st)
+	case *ast.SelectStmt:
+		ctx := w.push(false)
+		out := flow{reachable: false}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			f := w.seq(cc.Body, in)
+			out = joinBranches(out, f)
+		}
+		w.pop()
+		out.fall = union(out.fall, ctx.exits)
+		return out
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, in)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/spawned Unfence was handled up front; a deferred
+		// FenceRange would be bizarre — ignore both.
+		return flow{in, true}
+	default:
+		return flow{in, true}
+	}
+}
+
+// caseBody joins a switch body's clauses; a missing default adds a
+// fall-around path with the entry state, and break statements carry
+// their state to the switch's fall-through.
+func (w *walker) caseBody(body *ast.BlockStmt, in fenceSet) flow {
+	ctx := w.push(false)
+	out := flow{reachable: false}
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		st := in
+		for _, e := range cc.List {
+			st = w.exprEffect(e, st)
+		}
+		out = joinBranches(out, w.seq(cc.Body, st))
+	}
+	w.pop()
+	if !hasDefault {
+		out = joinBranches(out, flow{fall: in, reachable: true})
+	}
+	if len(ctx.exits) > 0 {
+		out = joinBranches(out, flow{fall: ctx.exits, reachable: true})
+	}
+	return out
+}
+
+func joinBranches(a, b flow) flow {
+	switch {
+	case !a.reachable:
+		return b
+	case !b.reachable:
+		return a
+	}
+	return flow{union(a.fall, b.fall), true}
+}
+
+// exprEffect applies the fence effects of every call inside e, in source
+// order: FenceRange adds its position, Unfence clears everything.
+// Closure bodies are walked independently (their paths are their own).
+func (w *walker) exprEffect(e ast.Expr, in fenceSet) fenceSet {
+	out := in
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.closure(n)
+			return false
+		case *ast.CallExpr:
+			if isFenceCall(w.pass, n) {
+				next := fenceSet{n.Pos(): true}
+				for p := range out {
+					next[p] = true
+				}
+				out = next
+			} else if isUnfenceCall(w.pass, n) {
+				out = nil
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// closure checks a function literal as its own little function.
+func (w *walker) closure(fl *ast.FuncLit) {
+	if !containsFenceCall(w.pass, fl.Body) {
+		return
+	}
+	if w.hasDeferredUnfence(fl.Body) {
+		return
+	}
+	f := w.seq(fl.Body.List, nil)
+	w.flush(f.fall)
+}
+
+func (w *walker) hasDeferredUnfence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if isUnfenceCall(w.pass, d.Call) || containsUnfenceCall(w.pass, d.Call) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsFenceCall(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isFenceCall(pass, c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func containsUnfenceCall(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isUnfenceCall(pass, c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasBreak reports whether body contains a break that exits this loop
+// (a shallow scan: breaks inside nested loops/switches are counted too,
+// which can only make the loop look escapable — the conservative
+// direction for fence tracking).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isFenceCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.IsMethodOn(pass.TypesInfo, call, "memsim", "Memory", "FenceRange")
+}
+
+func isUnfenceCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.IsMethodOn(pass.TypesInfo, call, "memsim", "Memory", "Unfence")
+}
+
+// isNoReturn reports whether e is a call that never returns (panic).
+func isNoReturn(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

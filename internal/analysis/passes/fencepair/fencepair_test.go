@@ -1,0 +1,12 @@
+package fencepair_test
+
+import (
+	"testing"
+
+	"gpulp/internal/analysis/analysistest"
+	"gpulp/internal/analysis/passes/fencepair"
+)
+
+func TestFencepair(t *testing.T) {
+	analysistest.Run(t, fencepair.Analyzer, "testdata/src/fencefix")
+}

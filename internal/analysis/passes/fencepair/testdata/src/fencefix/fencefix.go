@@ -1,0 +1,122 @@
+// Fixture for the fencepair analyzer, driven against the real memsim
+// fence API. Positive cases leak a fence on some path; negative cases
+// release on every path or defer the release.
+package fencefix
+
+import (
+	"errors"
+
+	"gpulp/internal/memsim"
+)
+
+var errBoom = errors.New("boom")
+
+func leakOnErrorReturn(m *memsim.Memory, fail bool) error {
+	m.FenceRange("f", 128, 64) // want "without Unfence"
+	if fail {
+		return errBoom // leaks the fence
+	}
+	m.Unfence("f")
+	return nil
+}
+
+func leakFallOffEnd(m *memsim.Memory) {
+	m.FenceRange("f", 128, 64) // want "without Unfence"
+}
+
+func leakOutOfLoop(m *memsim.Memory, jobs int) {
+	for j := 0; j < jobs; j++ {
+		if j%2 == 0 {
+			m.FenceRange("f", 128, 64) // want "without Unfence"
+			continue
+		}
+	}
+}
+
+func leakViaBreak(m *memsim.Memory, xs []int) {
+	for _, x := range xs {
+		if x > 0 {
+			m.FenceRange("f", 128, 64) // want "without Unfence"
+			break
+		}
+	}
+}
+
+func leakInSwitch(m *memsim.Memory, k int) {
+	switch k {
+	case 0:
+		m.FenceRange("f", 128, 64) // want "without Unfence"
+	default:
+		return
+	}
+}
+
+func leakInClosure(m *memsim.Memory) func() {
+	return func() {
+		m.FenceRange("f", 128, 64) // want "without Unfence"
+	}
+}
+
+func okAllPaths(m *memsim.Memory, fail bool) error {
+	m.FenceRange("f", 128, 64)
+	if fail {
+		m.Unfence("f")
+		return errBoom
+	}
+	m.Unfence("f")
+	return nil
+}
+
+func okDeferred(m *memsim.Memory, fail bool) error {
+	m.FenceRange("f", 128, 64)
+	defer m.Unfence("f")
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func okDeferredClosure(m *memsim.Memory) {
+	m.FenceRange("f", 128, 64)
+	defer func() {
+		m.Unfence("f")
+	}()
+}
+
+func okUnfenceThenBreak(m *memsim.Memory, xs []int) {
+	for _, x := range xs {
+		m.FenceRange("f", 128, 64)
+		if x > 0 {
+			m.Unfence("f")
+			break
+		}
+		m.Unfence("f")
+	}
+}
+
+func okPanicPath(m *memsim.Memory, bad bool) {
+	m.FenceRange("f", 128, 64)
+	if bad {
+		// A panic tears the whole simulation down; fences are volatile
+		// state, so a panicking path is not a leak.
+		panic("protocol bug")
+	}
+	m.Unfence("f")
+}
+
+func okSwitchAllCases(m *memsim.Memory, k int) {
+	m.FenceRange("f", 128, 64)
+	switch k {
+	case 0:
+		m.Unfence("f")
+	default:
+		m.Unfence("f")
+	}
+}
+
+func okLoopRelease(m *memsim.Memory, jobs int) {
+	for j := 0; j < jobs; j++ {
+		m.FenceRange("f", 128, 64)
+		m.Unfence("f")
+	}
+}

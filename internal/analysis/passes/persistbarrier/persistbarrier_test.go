@@ -1,0 +1,16 @@
+package persistbarrier_test
+
+import (
+	"testing"
+
+	"gpulp/internal/analysis/analysistest"
+	"gpulp/internal/analysis/passes/persistbarrier"
+)
+
+func TestRawNVMWrites(t *testing.T) {
+	analysistest.Run(t, persistbarrier.Analyzer, "testdata/src/memsim")
+}
+
+func TestLoadAliasWrites(t *testing.T) {
+	analysistest.Run(t, persistbarrier.Analyzer, "testdata/src/loadalias")
+}

@@ -1,0 +1,43 @@
+// Fixture for the persistbarrier analyzer's Load-alias shape, against
+// the real memsim: the byte slice Load returns aliases live cache-line
+// storage, so writing through it is a durable write that bypasses the
+// barrier (never marked dirty, never written back, never checksummed).
+package loadalias
+
+import "gpulp/internal/memsim"
+
+func mutateThroughLoad(m *memsim.Memory) {
+	b, _ := m.Load(memsim.AccessData, 128, 4)
+	b[0] = 1 // want "bypasses the LP barrier"
+}
+
+func copyThroughLoad(m *memsim.Memory, buf []byte) {
+	b, _ := m.Load(memsim.AccessData, 128, 4)
+	copy(b, buf) // want "bypasses the LP barrier"
+}
+
+func copySlicedThroughLoad(m *memsim.Memory, buf []byte) {
+	b, _ := m.Load(memsim.AccessData, 128, 8)
+	copy(b[4:], buf) // want "bypasses the LP barrier"
+}
+
+func readOnly(m *memsim.Memory) byte {
+	b, _ := m.Load(memsim.AccessData, 128, 4)
+	return b[0] // reads are what Load is for
+}
+
+func copyOut(m *memsim.Memory) []byte {
+	b, _ := m.Load(memsim.AccessData, 128, 4)
+	out := make([]byte, 4)
+	copy(out, b) // aliased slice as source: fine
+	return out
+}
+
+func properStore(m *memsim.Memory) {
+	m.Store(memsim.AccessData, 128, []byte{1, 2, 3, 4}) // the barrier API
+}
+
+func unrelatedWrite(m *memsim.Memory, scratch []byte) {
+	_, _ = m.Load(memsim.AccessData, 128, 4)
+	scratch[0] = 1 // not an aliased slice
+}

@@ -1,0 +1,12 @@
+package seedplumb_test
+
+import (
+	"testing"
+
+	"gpulp/internal/analysis/analysistest"
+	"gpulp/internal/analysis/passes/seedplumb"
+)
+
+func TestSeedplumb(t *testing.T) {
+	analysistest.Run(t, seedplumb.Analyzer, "testdata/src/seedfix")
+}

@@ -1,0 +1,41 @@
+// Fixture for the seedplumb analyzer: constant seeds and package-level
+// RNG state, next to properly threaded seeds.
+package seedfix
+
+import "math/rand"
+
+var globalRNG = rand.New(rand.NewSource(1)) // want "package-level RNG state" "constant seed"
+
+var defaultBudget = 100 // non-RNG package state: fine
+
+func constSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "constant seed"
+}
+
+func constExprSeed() *rand.Rand {
+	return rand.New(rand.NewSource(int64(7 * 13))) // want "constant seed"
+}
+
+func threaded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func derived(seed uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(seed ^ 0x9e3779b97f4a7c15)))
+}
+
+type cfg struct{ Seed uint64 }
+
+func fromConfig(c cfg) *rand.Rand {
+	return rand.New(rand.NewSource(int64(c.Seed)))
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	return x ^ (x >> 31)
+}
+
+func viaHelper(seed uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix(seed)))) // call result: not constant
+}

@@ -428,6 +428,7 @@ func (c *Cluster) Run() (*Report, error) {
 		if nd == nil {
 			// Quorum lost before this job could run: its shard joins the
 			// fenced lost set like any failover-exhausted shard.
+			//lpvet:allow fencepair a quorum-lost shard stays fenced by protocol: no survivor may ever publish into an unrecovered range
 			c.pool.FenceRange(fmt.Sprintf("shard-job-%d", j), c.jobAddr(j), c.jobBytes())
 			c.lost = append(c.lost, j)
 			continue
@@ -547,6 +548,7 @@ func (c *Cluster) publish(j int, nd *node) {
 // fenced and the job is recorded lost.
 func (c *Cluster) failover(j int, dead *node, detectAt int64) {
 	fence := fmt.Sprintf("shard-job-%d", j)
+	//lpvet:allow fencepair on failover exhaustion the lost shard stays fenced by protocol (see DegradedClusterError); the success path unfences before publish
 	c.pool.FenceRange(fence, c.jobAddr(j), c.jobBytes())
 
 	// Harvest: the job's (partially persisted) data slice and the whole

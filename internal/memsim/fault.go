@@ -189,11 +189,17 @@ func (m *Memory) SnapshotNVM() []byte {
 // crash would. Bytes allocated after the snapshot was taken are zeroed.
 func (m *Memory) RestoreNVM(img []byte) {
 	if len(img) > len(m.nvm) {
+		// Replacing the backing array is safe under an active snapshot:
+		// the snapshot holds its own reference, and the mutators preserve
+		// pre-mutation bytes from that frozen array, not this one.
 		m.nvm = make([]byte, len(img))
 	}
-	copy(m.nvm, img)
-	for i := len(img); i < len(m.nvm); i++ {
-		m.nvm[i] = 0
+	// Route through the snapshot-safe mutator: a raw copy here would
+	// rewrite lines an active copy-on-write snapshot has not captured
+	// yet, corrupting the frozen view parallel workers are reading.
+	m.mutateNVM(0, img)
+	if len(m.nvm) > len(img) {
+		m.mutateNVM(uint64(len(img)), make([]byte, len(m.nvm)-len(img)))
 	}
 	m.notify(PersistEvent{Kind: EvRestore, Data: img})
 	// Stuck-at cells survive an image restore: re-assert them over the

@@ -211,3 +211,70 @@ func TestPeekViewsConvergeAfterCrash(t *testing.T) {
 		t.Error("crash changed the durable image")
 	}
 }
+
+// TestRestoreNVMSnapshotFrozen is the regression test for the violation
+// lpvet's persistbarrier pass found in RestoreNVM: it copied the rollback
+// image into the durable array directly, so a live copy-on-write snapshot
+// — whose lazy capture relies on every mutation routing through
+// mutateNVM — saw the restored bytes bleed into its "frozen" view.
+func TestRestoreNVMSnapshotFrozen(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 256)
+	for i := 0; i < 64; i++ {
+		r.StoreU32(AccessData, i, uint32(i)+7)
+	}
+	m.FlushAll()
+	ckpt := m.SnapshotNVM() // rollback image: elements i+7
+
+	for i := 0; i < 64; i++ {
+		r.StoreU32(AccessData, i, 0xcafe0000+uint32(i))
+	}
+	m.FlushAll() // durable image now holds the cafe values, all lines clean
+
+	s := m.BeginSnapshot()
+	frozen := make([]byte, r.Size)
+	for i := 0; i < 64; i++ {
+		s.read(r.Base+uint64(4*i), frozen[4*i:4*i+4])
+	}
+
+	m.RestoreNVM(ckpt) // mid-snapshot rollback
+
+	for i := 0; i < 64; i++ {
+		if got := s.ReadU32(r.Base + uint64(4*i)); got != 0xcafe0000+uint32(i) {
+			t.Fatalf("snapshot leaked restore at element %d: read %#x, want frozen %#x",
+				i, got, 0xcafe0000+uint32(i))
+		}
+	}
+	m.EndSnapshot()
+
+	if got := r.NVMU32(0); got != 7 {
+		t.Errorf("durable image after restore = %#x, want rolled-back %#x", got, 7)
+	}
+	_ = frozen
+}
+
+// TestRestoreNVMSnapshotGrownImage covers the backing-array growth path:
+// restoring an image larger than the current durable array replaces the
+// array, and the active snapshot must keep reading its own (old) one.
+func TestRestoreNVMSnapshotGrownImage(t *testing.T) {
+	m := MustNew(tinyConfig())
+	r := m.Alloc("data", 128)
+	r.HostFillU64(0x2222222222222222)
+
+	s := m.BeginSnapshot()
+
+	big := make([]byte, len(m.NVMImage())+4096)
+	for i := range big {
+		big[i] = 0x5a
+	}
+	m.RestoreNVM(big)
+
+	if got := s.ReadU64(r.Base); got != 0x2222222222222222 {
+		t.Errorf("snapshot leaked grown restore: read %#x, want frozen %#x",
+			got, uint64(0x2222222222222222))
+	}
+	m.EndSnapshot()
+	if got := m.PeekNVM(r.Base, 1); got[0] != 0x5a {
+		t.Errorf("durable image after grown restore = %#x, want 0x5a", got[0])
+	}
+}

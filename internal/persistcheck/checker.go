@@ -82,9 +82,10 @@ func (c *Checker) Run(cfg Config) *Report {
 	if progress == nil {
 		progress = func(string, ...any) {}
 	}
-	start := time.Now()
+	start := time.Now() //lpvet:allow determinism the Duration budget is wall-clock by design; it gates how many scenarios run, never their seed-derived content
 	seedAt := func(i int) uint64 { return splitmix(cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15) }
 	expired := func() bool {
+		//lpvet:allow determinism wall-clock expiry only truncates the scenario stream; the fingerprint covers exactly the scenarios that ran
 		return cfg.Duration > 0 && time.Since(start) >= cfg.Duration
 	}
 

@@ -1,0 +1,28 @@
+package gpulp_test
+
+// The static-contract gate: lpvet over the whole module must be clean.
+// Any intentional violation needs a reasoned //lpvet:allow pragma, and
+// the allow checker keeps those pragmas honest (an allow that suppresses
+// nothing is itself a finding).
+
+import (
+	"testing"
+
+	"gpulp/internal/analysis/lpvet"
+)
+
+func TestLpvetModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lpvet type-checks the whole module; skipped in -short")
+	}
+	findings, err := lpvet.Vet(".", "./...")
+	if err != nil {
+		t.Fatalf("lpvet: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("lpvet found %d violation(s); fix them or add a reasoned //lpvet:allow", len(findings))
+	}
+}
