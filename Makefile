@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lpvet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak bench ci
+.PHONY: all vet lpvet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak model-smoke model-soak bench ci
 
 all: ci
 
@@ -89,10 +89,25 @@ persistcheck-smoke:
 persistcheck-soak:
 	$(GO) run ./cmd/lpcheck -seed 1 -n 100000 -duration 10m
 
+# model-smoke: every registered persistency model (lp, ep, sbrp, strict)
+# through its unit contract, a seeded crash campaign, and the model
+# checker's backend sweep — race detector on. Exits non-zero on any
+# prediction/recovery mismatch or contract violation.
+model-smoke:
+	$(GO) test -race ./internal/pmodel/
+	$(GO) test -race -run 'TestModelCampaign|TestModelCaseReproducible' ./internal/faultsim/
+	$(GO) run -race ./cmd/lpcheck -model all -kernels tmm,spmv -seed 1 -n 20 -quiet
+
+# model-soak: the full model × workload crash campaign plus a deep model
+# checker run for scheduled CI.
+model-soak:
+	$(GO) run ./cmd/lpfault -model all -seeds 8 -parallel 4
+	$(GO) run ./cmd/lpcheck -model all -seed 1 -n 4000 -quiet
+
 # bench: regenerate every artifact benchmark, then record the
 # serial-vs-parallel wall-clock comparison to BENCH_parallel.json.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	BENCH_JSON=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -v .
 
-ci: vet build race race-parallel matrix smoke scrub-smoke cluster-smoke persistcheck-smoke
+ci: vet build race race-parallel matrix smoke scrub-smoke cluster-smoke persistcheck-smoke model-smoke

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"gpulp/internal/harness"
+	"gpulp/internal/pmodel"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or markdown")
 		parallel = flag.Int("parallel", 1, "host goroutines fanning out independent experiment runs (results are bit-identical at any value)")
 		workers  = flag.Int("workers", 1, "host goroutines per simulated device executing thread blocks speculatively (results are bit-identical at any value)")
+		model    = flag.String("model", "", "persistency models for the modelcompare sweep: comma-separated from "+strings.Join(pmodel.Names(), ",")+", or \"all\" (default)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,16 @@ func main() {
 	opt.Verify = *verify
 	opt.Parallel = *parallel
 	opt.Dev.Workers = *workers
+	if *model != "" {
+		specs, err := pmodel.Parse(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lpbench:", err)
+			os.Exit(1)
+		}
+		for _, s := range specs {
+			opt.Models = append(opt.Models, s.Name)
+		}
+	}
 	r := harness.NewRunner(opt)
 
 	if *expList == "all" {

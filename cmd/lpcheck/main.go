@@ -5,7 +5,9 @@
 // Usage:
 //
 //	lpcheck -seed 1 -n 500               # fixed-budget seeded run
+//	lpcheck -ops 200000                  # deterministic op-budget soak
 //	lpcheck -duration 10m                # time-boxed soak
+//	lpcheck -model sbrp,strict -n 100    # scope the sweep to models
 //	lpcheck -corpus internal/persistcheck/testdata/corpus
 //	GPULP_PLANT_BUG=drop-writeback:1 lpcheck -n 50   # self-test: must fail
 //
@@ -26,13 +28,16 @@ import (
 
 	"gpulp/internal/kernels"
 	"gpulp/internal/persistcheck"
+	"gpulp/internal/pmodel"
 )
 
 func main() {
 	var (
 		seed     = flag.Uint64("seed", 1, "generator seed (same seed => same scenarios and fingerprint)")
 		n        = flag.Int("n", 200, "scenario budget (the kernel×backend coverage sweep always runs in full)")
+		ops      = flag.Int64("ops", 0, "optional deterministic op budget; same (seed, n, ops) always runs the same scenarios")
 		duration = flag.Duration("duration", 0, "optional wall-clock budget; stops random generation when elapsed")
+		model    = flag.String("model", "", "comma-separated persistency models to sweep: lp (all four checksum stores), ep, sbrp, strict, or \"all\"")
 		kernelsF = flag.String("kernels", "", "comma-separated workload subset (default: full Table I suite)")
 		corpus   = flag.String("corpus", "", "replay every reproducer in this directory instead of fuzzing")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
@@ -46,7 +51,30 @@ func main() {
 		os.Exit(replayCorpus(c, *corpus))
 	}
 
-	cfg := persistcheck.Config{Seed: *seed, N: *n, Duration: *duration}
+	cfg := persistcheck.Config{Seed: *seed, N: *n, MaxOps: *ops}
+	if *duration > 0 {
+		// The checker itself never reads the clock (its contract packages
+		// are wall-clock-free); the CLI owns the deadline.
+		deadline := time.Now().Add(*duration)
+		cfg.Stop = func() bool { return time.Now().After(deadline) }
+	}
+	if *model != "" {
+		specs, err := pmodel.Parse(*model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lpcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, s := range specs {
+			if s.Name == "lp" {
+				// LP is four design points: every checksum store backend.
+				cfg.Backends = append(cfg.Backends,
+					persistcheck.BackendQuad, persistcheck.BackendCuckoo,
+					persistcheck.BackendChained, persistcheck.BackendGlobalArray)
+				continue
+			}
+			cfg.Backends = append(cfg.Backends, s.Name)
+		}
+	}
 	if *kernelsF != "" {
 		cfg.Kernels = strings.Split(*kernelsF, ",")
 		for _, k := range cfg.Kernels {

@@ -22,6 +22,7 @@
 //
 //	lpfault -seeds 12                      # 204-case default campaign
 //	lpfault -kernels tmm -kinds mid-kernel # one cell of the sweep
+//	lpfault -model all -seeds 4            # every persistency model, same faults
 //	lpfault -repro '{"kernel":"tmm","kind":"mid-kernel","seed":12345}'
 //	lpfault -ratesweep -json               # media-error rate sweep
 //	lpfault -ratesweep -rates 0.01,0.1 -stuckfrac 0.2 -locks
@@ -38,6 +39,7 @@ import (
 
 	"gpulp/internal/cluster"
 	"gpulp/internal/faultsim"
+	"gpulp/internal/pmodel"
 )
 
 func main() {
@@ -53,6 +55,7 @@ func main() {
 		minimize  = flag.Bool("minimize", true, "shrink failing cases to their smallest reproduction")
 		progress  = flag.Bool("progress", false, "print each case as it completes")
 		parallel  = flag.Int("parallel", 1, "host goroutines running campaign cases concurrently (the report is bit-identical at any value)")
+		model     = flag.String("model", "", "persistency models to campaign over: comma-separated from "+strings.Join(pmodel.Names(), ",")+", or \"all\" (default: lp only)")
 		repro     = flag.String("repro", "", "re-run a single case from its reported JSON instead of a campaign")
 
 		rateSweep = flag.Bool("ratesweep", false, "run the media-error rate sweep (self-healing recovery) instead of the crash-shape campaign")
@@ -105,6 +108,15 @@ func main() {
 		BaseSeed: *baseSeed,
 		Minimize: *minimize,
 		Parallel: *parallel,
+	}
+	if *model != "" {
+		specs, err := pmodel.Parse(*model)
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range specs {
+			c.Models = append(c.Models, s.Name)
+		}
 	}
 	for _, s := range splitList(*kinds) {
 		k, err := faultsim.ParseKind(s)
@@ -192,7 +204,7 @@ func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float6
 			}
 		}
 	}
-	crashOnly := []string{"kernels", "kinds", "minimize", "maxrounds"}
+	crashOnly := []string{"kernels", "kinds", "minimize", "maxrounds", "model"}
 	if rateSweep || clusterMode {
 		for _, name := range crashOnly {
 			if set[name] {
@@ -234,8 +246,12 @@ func reproduce(opt faultsim.Options, caseJSON string, jsonOut bool) {
 			fatal(err)
 		}
 	} else {
+		tier := res.Tier.String()
+		if res.ModelTier != "" {
+			tier = res.ModelTier
+		}
 		fmt.Printf("%v -> %v (tier %v, %d rounds, %d cycles)\n",
-			res.Case, res.Outcome, res.Tier, res.Rounds, res.Cycles)
+			res.Case, res.Outcome, tier, res.Rounds, res.Cycles)
 		if res.Err != "" {
 			fmt.Println("  ", res.Err)
 		}

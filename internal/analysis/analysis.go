@@ -88,6 +88,7 @@ var ContractPackages = map[string]bool{
 	"gpulp/internal/cluster":      true,
 	"gpulp/internal/faultsim":     true,
 	"gpulp/internal/persistcheck": true,
+	"gpulp/internal/pmodel":       true,
 }
 
 // --- shared type-matching helpers ---

@@ -69,6 +69,12 @@ func (e *EP) LogBytes() int64 {
 	return int64(e.grid.Size()) * int64(e.perBlock) * int64(e.entryBytes)
 }
 
+// MetadataRegions lists EP's durable metadata: the redo log and the
+// per-block commit flags (fault-injection and oracle targets).
+func (e *EP) MetadataRegions() []memsim.Region {
+	return []memsim.Region{e.log, e.flags}
+}
+
 // Wrap instruments a plain kernel with eager persistency over the
 // protected regions: redo-logging with line flushes during execution and
 // a flushed, fenced commit flag per block.

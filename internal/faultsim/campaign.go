@@ -40,6 +40,12 @@ type Campaign struct {
 	Kernels []string
 	// Kinds are the fault shapes to inject (default: all).
 	Kinds []Kind
+	// Models are the persistency models to sweep (pmodel registry
+	// names). Empty means the legacy LP-only campaign, whose reports are
+	// byte-identical to pre-registry runs. Each model sees the same
+	// seeded fault at every sweep position, so model columns are
+	// directly comparable.
+	Models []string
 	// Seeds is the number of seeded cases per applicable
 	// (kernel, kind) pair.
 	Seeds int
@@ -79,8 +85,10 @@ func DefaultCampaign(seeds int) *Campaign {
 	}
 }
 
-// KindSummary aggregates one (kernel, kind) cell of the sweep.
+// KindSummary aggregates one (model, kernel, kind) cell of the sweep.
+// Model is empty on legacy LP-only campaigns.
 type KindSummary struct {
+	Model       string `json:"model,omitempty"`
 	Kernel      string `json:"kernel"`
 	Kind        string `json:"kind"`
 	Cases       int    `json:"cases"`
@@ -135,6 +143,13 @@ func (c *Campaign) Run() (*Report, error) {
 		seeds = 12
 	}
 
+	// An empty model list is the legacy LP-only campaign; its cases carry
+	// no model label so recorded reports stay byte-identical.
+	models := c.Models
+	if len(models) == 0 {
+		models = []string{""}
+	}
+
 	goldens := make(map[string]*Golden, len(kernels))
 	total := 0
 	for _, name := range kernels {
@@ -144,16 +159,18 @@ func (c *Campaign) Run() (*Report, error) {
 		}
 		goldens[name] = g
 		for _, kind := range kinds {
-			if Applicable(name, kind) {
-				total += seeds
+			for _, model := range models {
+				if ModelApplicable(model, name, kind) {
+					total += seeds
+				}
 			}
 		}
 	}
 
 	// Flatten the sweep into an ordered case list. Seeds derive from the
 	// (kernel, kind, seed) sweep position exactly as the serial loops
-	// did, so the case list — and therefore every derived number — is
-	// independent of how the cases are later scheduled.
+	// did — deliberately not from the model, so every model faces the
+	// same fault at the same position and the cells compare directly.
 	type caseSpec struct {
 		kernel string
 		c      Case
@@ -161,12 +178,14 @@ func (c *Campaign) Run() (*Report, error) {
 	var specs []caseSpec
 	for ki, name := range kernels {
 		for kj, kind := range kinds {
-			if !Applicable(name, kind) {
-				continue
-			}
 			for s := 0; s < seeds; s++ {
 				seed := splitmix(c.BaseSeed ^ splitmix(uint64(ki)<<40|uint64(kj)<<20|uint64(s)))
-				specs = append(specs, caseSpec{kernel: name, c: Case{Kernel: name, Kind: kind, Seed: seed}})
+				for _, model := range models {
+					if !ModelApplicable(model, name, kind) {
+						continue
+					}
+					specs = append(specs, caseSpec{kernel: name, c: Case{Kernel: name, Kind: kind, Seed: seed, Model: model}})
+				}
 			}
 		}
 	}
@@ -193,10 +212,10 @@ func (c *Campaign) Run() (*Report, error) {
 	cells := map[string]*KindSummary{}
 	cellCycles := map[string]int64{}
 	for i, res := range results {
-		key := specs[i].kernel + "/" + specs[i].c.Kind.String()
+		key := specs[i].c.Model + "/" + specs[i].kernel + "/" + specs[i].c.Kind.String()
 		cell, ok := cells[key]
 		if !ok {
-			cell = &KindSummary{Kernel: specs[i].kernel, Kind: specs[i].c.Kind.String(), MaxTier: "selective"}
+			cell = &KindSummary{Model: specs[i].c.Model, Kernel: specs[i].kernel, Kind: specs[i].c.Kind.String(), MaxTier: "selective"}
 			cells[key] = cell
 		}
 		cell.Cases++
@@ -215,7 +234,11 @@ func (c *Campaign) Run() (*Report, error) {
 			rep.Panics++
 			cell.Panics++
 		}
-		if tierRank(res.Tier.String()) > tierRank(cell.MaxTier) {
+		if res.ModelTier != "" {
+			// Non-LP models have one fixed mechanism, not an escalation
+			// ladder; the cell reports it directly.
+			cell.MaxTier = res.ModelTier
+		} else if tierRank(res.Tier.String()) > tierRank(cell.MaxTier) {
 			cell.MaxTier = res.Tier.String()
 		}
 		if res.Outcome.Failed() {
@@ -309,13 +332,34 @@ func injectedFlips(r Result) int {
 func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "fault-injection campaign: %d cases — %d recovered, %d typed errors, %d mismatches, %d panics\n",
 		r.Total, r.Recovered, r.TypedErrors, r.Mismatches, r.Panics)
-	rows := [][]string{{"kernel", "fault", "cases", "recovered", "typed-err", "mismatch", "panic", "max tier", "mean rec cycles"}}
+	// Legacy LP-only reports keep their exact column set; model sweeps
+	// lead with a model column.
+	hasModel := false
 	for _, s := range r.Summaries {
-		rows = append(rows, []string{
+		if s.Model != "" {
+			hasModel = true
+			break
+		}
+	}
+	header := []string{"kernel", "fault", "cases", "recovered", "typed-err", "mismatch", "panic", "max tier", "mean rec cycles"}
+	if hasModel {
+		header = append([]string{"model"}, header...)
+	}
+	rows := [][]string{header}
+	for _, s := range r.Summaries {
+		row := []string{
 			s.Kernel, s.Kind, fmt.Sprint(s.Cases), fmt.Sprint(s.Recovered),
 			fmt.Sprint(s.TypedErrors), fmt.Sprint(s.Mismatches), fmt.Sprint(s.Panics),
 			s.MaxTier, fmt.Sprint(s.MeanRecoveryCycles),
-		})
+		}
+		if hasModel {
+			model := s.Model
+			if model == "" {
+				model = "lp"
+			}
+			row = append([]string{model}, row...)
+		}
+		rows = append(rows, row)
 	}
 	widths := make([]int, len(rows[0]))
 	for _, row := range rows {

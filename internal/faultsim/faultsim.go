@@ -121,6 +121,10 @@ type Case struct {
 	Kernel string `json:"kernel"`
 	Kind   Kind   `json:"kind"`
 	Seed   uint64 `json:"seed"`
+	// Model selects the persistency model from the pmodel registry.
+	// Empty means "lp", the legacy LP path — recorded cases from before
+	// the registry replay unchanged.
+	Model string `json:"model,omitempty"`
 	// AfterBlocks pins the mid-kernel crash point (0 = derive from Seed).
 	AfterBlocks int `json:"after_blocks,omitempty"`
 	// Flips pins the injected bit-flip count (0 = derive from Seed).
@@ -130,6 +134,9 @@ type Case struct {
 // String implements fmt.Stringer.
 func (c Case) String() string {
 	s := fmt.Sprintf("%s/%s seed=%#x", c.Kernel, c.Kind, c.Seed)
+	if c.Model != "" {
+		s += " model=" + c.Model
+	}
 	if c.AfterBlocks > 0 {
 		s += fmt.Sprintf(" after=%d", c.AfterBlocks)
 	}
@@ -189,6 +196,10 @@ type Result struct {
 	Rounds           int   `json:"rounds"`
 	FirstRoundFailed int   `json:"first_round_failed"`
 	Cycles           int64 `json:"cycles"`
+	// ModelTier names the recovery mechanism for non-LP model cases
+	// ("replay+reexec", "release-reexec"); empty on the LP path, whose
+	// mechanism is Tier.
+	ModelTier string `json:"model_tier,omitempty"`
 	// CrashedAfter is the number of blocks that retired before a
 	// mid-kernel crash (0 for boundary crashes).
 	CrashedAfter int `json:"crashed_after,omitempty"`
@@ -305,6 +316,9 @@ func splitmix(x uint64) uint64 {
 // escalation, and compare the durable image against golden. It never
 // panics: a runtime panic is converted into the Panicked outcome.
 func RunCase(opt Options, c Case, golden *Golden) (res Result) {
+	if c.Model != "" && c.Model != "lp" {
+		return runModelCase(opt, c, golden)
+	}
 	res.Case = c
 	defer func() {
 		if r := recover(); r != nil {

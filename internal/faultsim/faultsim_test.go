@@ -119,3 +119,83 @@ func TestParseKind(t *testing.T) {
 		t.Error("ParseKind accepted garbage")
 	}
 }
+
+// TestModelApplicable pins the per-model applicability matrix.
+func TestModelApplicable(t *testing.T) {
+	// LP defers to the legacy matrix.
+	if ModelApplicable("lp", "tmm", DataBitFlips) != Applicable("tmm", DataBitFlips) {
+		t.Error("lp applicability must match the legacy matrix")
+	}
+	for _, model := range []string{"ep", "sbrp", "strict"} {
+		if ModelApplicable(model, "tmm", DataBitFlips) || ModelApplicable(model, "tmm", StoreBitFlips) {
+			t.Errorf("%s has no checksums; bit-flip probes are undetectable by design", model)
+		}
+		if !ModelApplicable(model, "tmm", MidKernelCrash) {
+			t.Errorf("%s mid-kernel crash must apply to dense kernels", model)
+		}
+		if ModelApplicable(model, "megakv-insert", MidKernelCrash) {
+			t.Errorf("%s block re-execution is not byte-idempotent on megakv", model)
+		}
+		for _, k := range []Kind{CleanCrash, PartialEviction, TornWriteback} {
+			if !ModelApplicable(model, "megakv-insert", k) {
+				t.Errorf("%s should allow %v everywhere", model, k)
+			}
+		}
+	}
+}
+
+// TestModelCampaign sweeps every registered persistency model through
+// the seeded fault campaign on tmm: each model must recover bit-exact
+// (or report a typed error) under every applicable fault shape, and the
+// per-model summary cells must carry their labels.
+func TestModelCampaign(t *testing.T) {
+	c := DefaultCampaign(2)
+	c.Kernels = []string{"tmm"}
+	c.Models = []string{"lp", "ep", "sbrp", "strict"}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lp: all 6 kinds; ep/sbrp/strict: clean, mid-kernel, partial, torn.
+	if want := (6 + 3*4) * 2; rep.Total != want {
+		t.Fatalf("model campaign ran %d cases, want %d", rep.Total, want)
+	}
+	if rep.Failed() {
+		var sb strings.Builder
+		rep.Render(&sb)
+		t.Fatalf("model campaign contract violated:\n%s", sb.String())
+	}
+	if rep.TypedErrors != 0 {
+		t.Fatalf("model campaign hit %d typed errors on tmm; every applicable fault should recover", rep.TypedErrors)
+	}
+	models := map[string]bool{}
+	for _, s := range rep.Summaries {
+		models[s.Model] = true
+	}
+	for _, m := range c.Models {
+		if !models[m] {
+			t.Errorf("no summary cell for model %s", m)
+		}
+	}
+}
+
+// TestModelCaseReproducible asserts model cases replay identically from
+// their recorded Case alone, like LP cases.
+func TestModelCaseReproducible(t *testing.T) {
+	opt := DefaultOptions()
+	golden, err := GoldenRun(opt, "tmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []string{"ep", "sbrp", "strict"} {
+		c := Case{Kernel: "tmm", Kind: MidKernelCrash, Seed: 0xbead, Model: model}
+		a := RunCase(opt, c, golden)
+		b := RunCase(opt, c, golden)
+		if a != b {
+			t.Fatalf("%s case not reproducible:\n  first:  %+v\n  second: %+v", model, a, b)
+		}
+		if a.Outcome != Recovered {
+			t.Fatalf("%s mid-kernel case did not recover: %+v", model, a)
+		}
+	}
+}

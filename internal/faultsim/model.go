@@ -1,0 +1,168 @@
+package faultsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/kernels"
+	"gpulp/internal/memsim"
+	"gpulp/internal/pmodel"
+)
+
+// model.go runs fault cases through the pmodel registry, so campaigns
+// sweep every persistency model — not just LP — under the same seeded
+// faults. A case's Model field selects the runner: "" and "lp" take the
+// legacy LP path in RunCase (bit-identical to pre-registry reports);
+// everything else lands here.
+
+// ModelApplicable reports whether kind is a meaningful, decidable probe
+// for kernel under the named persistency model. For LP it defers to
+// Applicable. The flag models (ep, sbrp, strict) have no checksums, so
+// media bit flips are undetectable by design and excluded; their
+// mid-kernel recovery re-executes whole blocks, which is only
+// byte-idempotent on the dense kernels.
+func ModelApplicable(model, kernel string, kind Kind) bool {
+	if model == "" || model == "lp" {
+		return Applicable(kernel, kind)
+	}
+	switch kind {
+	case DataBitFlips, StoreBitFlips:
+		return false
+	case MidKernelCrash:
+		return denseFlipKernels[kernel]
+	}
+	return true
+}
+
+// runModelCase is RunCase for registry models other than LP: run the
+// model's instrumented kernel, inject the fault, then hold the model to
+// its whole contract — PredictDamage from the raw durable image must
+// equal what Recover repairs, and the recovered image must match the
+// fault-free golden bit for bit.
+func runModelCase(opt Options, c Case, golden *Golden) (res Result) {
+	res.Case = c
+	defer func() {
+		if r := recover(); r != nil {
+			res.Outcome = Panicked
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+
+	spec, ok := pmodel.Lookup(c.Model)
+	if !ok {
+		res.Outcome = TypedError
+		res.Err = fmt.Sprintf("faultsim: unknown persistency model %q", c.Model)
+		return res
+	}
+	if !ModelApplicable(c.Model, c.Kernel, c.Kind) {
+		res.Outcome = TypedError
+		res.Err = fmt.Sprintf("faultsim: fault kind %v is not applicable to model %s on %s", c.Kind, c.Model, c.Kernel)
+		return res
+	}
+
+	rng := rand.New(rand.NewSource(int64(splitmix(c.Seed))))
+	mem := memsim.MustNew(opt.Mem)
+	dev := gpusim.MustNew(opt.Dev, mem)
+	w := kernels.New(c.Kernel, opt.Scale)
+	w.Setup(dev)
+	grid, blk := w.Geometry()
+	lpCfg := opt.LP
+	m := spec.New(dev, w, pmodel.Options{
+		LP:         &lpCfg,
+		MaxRounds:  opt.MaxRounds,
+		Checkpoint: true,
+	})
+	kernel := m.Kernel()
+
+	switch c.Kind {
+	case MidKernelCrash:
+		after := c.AfterBlocks
+		if after <= 0 {
+			after = 1 + rng.Intn(grid.Size())
+		}
+		res.CrashedAfter = after
+		dev.SetCrashTrigger(&gpusim.CrashTrigger{
+			AfterBlocks: after,
+			Fire:        func(*gpusim.Device) { mem.Crash() },
+		})
+		dev.Launch(c.Kernel, grid, blk, kernel)
+	case CleanCrash, PartialEviction, TornWriteback:
+		dev.Launch(c.Kernel, grid, blk, kernel)
+		switch c.Kind {
+		case CleanCrash:
+			mem.Crash()
+		case PartialEviction:
+			mem.PartialCrash(rng, memsim.CrashProfile{EvictFrac: 0.2 + 0.6*rng.Float64()})
+		case TornWriteback:
+			mem.PartialCrash(rng, memsim.CrashProfile{
+				EvictFrac: 0.3 + 0.5*rng.Float64(),
+				TornFrac:  0.2 + 0.5*rng.Float64(),
+			})
+		}
+	default:
+		res.Outcome = TypedError
+		res.Err = fmt.Sprintf("faultsim: unknown fault kind %v", c.Kind)
+		return res
+	}
+
+	// The durable-state contract: the damage the model predicts from the
+	// raw NVM image alone must be exactly what its recovery repairs.
+	predicted := m.PredictDamage(mem.SnapshotNVM())
+	rep, rerr := m.Recover()
+	res.ModelTier = rep.Tier
+	res.Cycles = rep.Cycles
+	if !equalInts(predicted, rep.Damaged) {
+		res.Outcome = Mismatch
+		res.Err = fmt.Sprintf("model %s predicted damage %v but recovery repaired %v", c.Model, head(predicted), head(rep.Damaged))
+		return res
+	}
+	if rerr != nil {
+		res.Err = rerr.Error()
+		if errors.Is(rerr, core.ErrUnrecoverable) || errors.Is(rerr, core.ErrStoreCorrupt) {
+			res.Outcome = TypedError
+		} else {
+			res.Outcome = Mismatch
+		}
+		return res
+	}
+
+	if f, ok := w.(kernels.Finalizer); ok {
+		name, fg, fb, k := f.FinalizeKernel()
+		dev.Launch(name, fg, fb, k)
+	}
+	mem.FlushAll()
+	for i, r := range w.Outputs() {
+		if !bytes.Equal(mem.PeekNVM(r.Base, r.Size), golden.outputs[i]) {
+			res.Outcome = Mismatch
+			res.Err = fmt.Sprintf("durable image of %s diverges from fault-free golden under model %s", r.Name, c.Model)
+			return res
+		}
+	}
+	res.Outcome = Recovered
+	return res
+}
+
+// equalInts compares two int slices elementwise.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// head renders at most eight elements of a damage set.
+func head(xs []int) string {
+	if len(xs) <= 8 {
+		return fmt.Sprint(xs)
+	}
+	return fmt.Sprintf("%v… (%d total)", xs[:8], len(xs))
+}

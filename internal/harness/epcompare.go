@@ -16,6 +16,11 @@ import (
 // The paper quotes "20-40% slowdowns are typical for EP" on CPUs and
 // motivates LP by EP's logging/flushing write amplification; this
 // experiment regenerates both effects at GPU block counts.
+//
+// The registered experiment is now modelcompare, which sweeps the full
+// persistency-model zoo; "-exp epcompare" aliases to it. This focused
+// two-point measurement stays for its direction pins (EP costs more
+// time and more NVM writes than LP on every benchmark).
 func (r *Runner) EPCompare() (*Table, error) {
 	t := &Table{ID: "epcompare", Title: "Eager vs Lazy Persistency (§I/§II motivation)",
 		Columns: []string{"benchmark", "EP overhead", "LP overhead", "EP extra NVM writes", "LP extra NVM writes"}}

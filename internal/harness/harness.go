@@ -33,6 +33,9 @@ type Options struct {
 	Verify bool
 	// Seed perturbs the LP hash functions.
 	Seed uint64
+	// Models restricts the modelcompare sweep to these registered
+	// persistency models (empty = all of them).
+	Models []string
 	// Parallel is the number of host goroutines used to fan out
 	// independent simulator runs — across experiments in RunAll and
 	// across the per-configuration runs inside an experiment. Every run
@@ -156,7 +159,7 @@ var Experiments = []Experiment{
 	{"faultcampaign", "robustness: seeded fault-injection campaign vs hardened recovery", (*Runner).FaultCampaign},
 	{"scrubcampaign", "robustness: media-error rate sweep vs self-healing recovery", (*Runner).ScrubCampaign},
 	{"clustercampaign", "robustness: multi-device failover sweep vs sharded cross-device recovery", (*Runner).ClusterCampaign},
-	{"epcompare", "§I/§II: Eager vs Lazy Persistency", (*Runner).EPCompare},
+	{"modelcompare", "persistency model zoo: LP vs EP vs SBRP vs strict", (*Runner).ModelCompare},
 	{"scaling", "ablation: LP overhead vs thread-block count", (*Runner).Scaling},
 	{"fusion", "ablation: region fusion factor (§IV-A enlargement)", (*Runner).Fusion},
 	{"checkpoint", "ablation: checkpoint interval (§IV-A whole-cache flush)", (*Runner).Checkpoint},
@@ -166,8 +169,17 @@ var Experiments = []Experiment{
 	{"mtbf", "§IV-A: checkpoint interval planning from failure rate", (*Runner).MTBFPlan},
 }
 
-// ByID looks an experiment up.
+// experimentAliases maps deprecated experiment IDs to their successors
+// (the old name keeps working on the CLI; RunAll runs each once).
+var experimentAliases = map[string]string{
+	"epcompare": "modelcompare",
+}
+
+// ByID looks an experiment up, resolving deprecated aliases.
 func ByID(id string) (Experiment, bool) {
+	if alias, ok := experimentAliases[id]; ok {
+		id = alias
+	}
 	for _, e := range Experiments {
 		if e.ID == id {
 			return e, true

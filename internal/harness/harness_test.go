@@ -8,6 +8,7 @@ import (
 	"gpulp/internal/core"
 	"gpulp/internal/gpusim"
 	"gpulp/internal/hashtab"
+	"gpulp/internal/pmodel"
 )
 
 // smallRunner uses a reduced device so tests stay fast; relationships
@@ -375,6 +376,92 @@ func TestFaultCampaignExperiment(t *testing.T) {
 	for _, row := range tbl.Rows {
 		if row[5] != "0" {
 			t.Errorf("%s/%s: %s cases violated the campaign contract", row[0], row[1], row[5])
+		}
+	}
+}
+
+func TestModelCompareDirections(t *testing.T) {
+	r := smallRunner()
+	tbl, err := r.ModelCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tbl.Rows), 5*len(pmodel.Names()); got != want {
+		t.Fatalf("got %d rows, want %d (5 benchmarks x every registered model)", got, want)
+	}
+	// Per-benchmark orderings that hold by construction: strict flushes
+	// and fences every protected store, so it must cost at least as much
+	// time and as many NVM writes as any other model; EP's logging must
+	// cost more than LP's flush-free checksums. (SBRP vs LP is workload-
+	// dependent — buffered flushing can beat or lose to natural eviction
+	// — so no ordering is pinned between them.)
+	type cell struct{ overhead, writes float64 }
+	byModel := map[string]map[string]cell{}
+	for _, row := range tbl.Rows {
+		bench, model := row[0], row[1]
+		if byModel[bench] == nil {
+			byModel[bench] = map[string]cell{}
+		}
+		byModel[bench][model] = cell{
+			overhead: parsePct(t, row[2]),
+			writes:   parsePct(t, strings.TrimPrefix(row[3], "+")),
+		}
+		if mb, err := strconv.ParseInt(row[4], 10, 64); err != nil || mb <= 0 {
+			t.Errorf("%s/%s: bad metadata bytes %q", bench, model, row[4])
+		}
+	}
+	for bench, cells := range byModel {
+		strict := cells["strict"]
+		for model, c := range cells {
+			if model == "strict" {
+				continue
+			}
+			if strict.overhead < c.overhead {
+				t.Errorf("%s: strict overhead %v%% below %s's %v%%", bench, strict.overhead, model, c.overhead)
+			}
+		}
+		if cells["ep"].overhead <= cells["lp"].overhead {
+			t.Errorf("%s: EP overhead %v%% not greater than LP %v%%", bench, cells["ep"].overhead, cells["lp"].overhead)
+		}
+		if cells["ep"].writes <= cells["lp"].writes {
+			t.Errorf("%s: EP write amplification %v%% not greater than LP %v%%", bench, cells["ep"].writes, cells["lp"].writes)
+		}
+	}
+}
+
+func TestModelCompareSubset(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Dev.NumSMs = 16
+	opt.Models = []string{"sbrp"}
+	tbl, err := NewRunner(opt).ModelCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5 (one per benchmark)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "sbrp" {
+			t.Errorf("row for %s has model %q, want sbrp", row[0], row[1])
+		}
+	}
+	opt.Models = []string{"nope"}
+	if _, err := NewRunner(opt).ModelCompare(); err == nil {
+		t.Fatal("unknown model in Options.Models did not error")
+	}
+}
+
+func TestExperimentAlias(t *testing.T) {
+	e, ok := ByID("epcompare")
+	if !ok {
+		t.Fatal("deprecated id epcompare no longer resolves")
+	}
+	if e.ID != "modelcompare" {
+		t.Fatalf("epcompare resolved to %q, want modelcompare", e.ID)
+	}
+	for _, exp := range Experiments {
+		if exp.ID == "epcompare" {
+			t.Fatal("epcompare still registered: RunAll would run the sweep twice")
 		}
 	}
 }

@@ -4,7 +4,6 @@ package persistcheck
 
 import (
 	"fmt"
-	"time"
 
 	"gpulp/internal/faultsim"
 	"gpulp/internal/kernels"
@@ -19,11 +18,22 @@ type Config struct {
 	// (every kernel × backend, plus one differential of each kind)
 	// always runs in full, even when it exceeds N.
 	N int
-	// Duration, when nonzero, stops random generation once elapsed
-	// (checked between scenarios; the coverage sweep still completes).
-	Duration time.Duration
+	// MaxOps, when positive, stops random generation once the run's
+	// estimated op budget (see opsOf) is spent — a deterministic budget:
+	// the same (Seed, N, MaxOps) always runs exactly the same scenarios,
+	// on any machine. The coverage sweep still completes in full.
+	MaxOps int64
+	// Stop, when set, is polled between random scenarios; returning true
+	// stops generation (the coverage sweep still completes). The CLI
+	// wires its wall-clock -duration flag through this hook, keeping the
+	// checker itself free of wall-clock reads.
+	Stop func() bool
 	// Kernels overrides the workload list (default: the Table I suite).
 	Kernels []string
+	// Backends overrides the design-point list (default: all of
+	// Backends — every LP store organization plus the non-LP models).
+	// The CLI's -model flag maps registry models onto this.
+	Backends []string
 	// PlantDrop arms the planted persistency bug in every raw-memory
 	// scenario: the nth write-back is silently dropped. A checker that
 	// does not fail with this set is broken.
@@ -46,6 +56,9 @@ type Report struct {
 	Kernel    int `json:"kernel"`
 	Diff      int `json:"diff"`
 	Scrub     int `json:"scrub"`
+	// Ops is the estimated op cost of everything that ran (the MaxOps
+	// budget's unit; see opsOf).
+	Ops int64 `json:"ops,omitempty"`
 	// Coverage counts scenarios per "kernel/backend" pair.
 	Coverage map[string]int `json:"coverage"`
 	Failures []Failure      `json:"failures,omitempty"`
@@ -77,16 +90,20 @@ func (c *Checker) Run(cfg Config) *Report {
 	if len(cfg.Kernels) == 0 {
 		cfg.Kernels = kernels.Names
 	}
+	if len(cfg.Backends) == 0 {
+		cfg.Backends = Backends
+	}
 	rep := &Report{Coverage: map[string]int{}}
 	progress := cfg.Progress
 	if progress == nil {
 		progress = func(string, ...any) {}
 	}
-	start := time.Now() //lpvet:allow determinism the Duration budget is wall-clock by design; it gates how many scenarios run, never their seed-derived content
 	seedAt := func(i int) uint64 { return splitmix(cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15) }
 	expired := func() bool {
-		//lpvet:allow determinism wall-clock expiry only truncates the scenario stream; the fingerprint covers exactly the scenarios that ran
-		return cfg.Duration > 0 && time.Since(start) >= cfg.Duration
+		if cfg.MaxOps > 0 && rep.Ops >= cfg.MaxOps {
+			return true
+		}
+		return cfg.Stop != nil && cfg.Stop()
 	}
 
 	// Phase 1: mandatory kernel × backend sweep. Fault kinds, workers
@@ -94,7 +111,7 @@ func (c *Checker) Run(cfg Config) *Report {
 	// every shape at least somewhere.
 	ordinal := 0
 	for ki, kernel := range cfg.Kernels {
-		for bi, backend := range Backends {
+		for bi, backend := range cfg.Backends {
 			sc := KernelScenario{
 				Kernel:  kernel,
 				Backend: backend,
@@ -114,9 +131,9 @@ func (c *Checker) Run(cfg Config) *Report {
 	storesBase := KernelScenario{Kernel: "spmv",
 		Fault: faultsim.PartialEviction, Seed: seedAt(ordinal + 1)}
 	c.check(rep, Repro{Family: FamilyDiffStores, Kernel: &storesBase}, "diff-stores "+storesBase.String())
-	epBase := KernelScenario{Kernel: "tmm",
+	modelsBase := KernelScenario{Kernel: "tmm",
 		Fault: faultsim.TornWriteback, Seed: seedAt(ordinal + 2)}
-	c.check(rep, Repro{Family: FamilyDiffEP, Kernel: &epBase}, "diff-ep "+epBase.String())
+	c.check(rep, Repro{Family: FamilyDiffModels, Kernel: &modelsBase}, "diff-models "+modelsBase.String())
 	ordinal += 3
 	// Two mandatory self-healing scenarios: a transient-only run the
 	// scrubber must heal bit-exactly, and a stuck-at run with spin locks
@@ -166,8 +183,8 @@ func (c *Checker) rotateFault(sc KernelScenario, i int) faultsim.Kind {
 	kinds := faultsim.AllKinds()
 	for off := 0; off < len(kinds); off++ {
 		k := kinds[(i+off)%len(kinds)]
-		if sc.Backend == BackendEP {
-			if epEligible(sc.Kernel, k) {
+		if isModelBackend(sc.Backend) {
+			if modelEligible(sc.Backend, sc.Kernel, k) {
 				return k
 			}
 			continue
@@ -183,14 +200,15 @@ func (c *Checker) randomKernelScenario(cfg Config, seed uint64) KernelScenario {
 	pick := func(n uint64, mod int) int { return int(splitmix(seed^n) % uint64(mod)) }
 	sc := KernelScenario{
 		Kernel:  cfg.Kernels[pick(2, len(cfg.Kernels))],
-		Backend: Backends[pick(3, len(Backends))],
+		Backend: cfg.Backends[pick(3, len(cfg.Backends))],
 		Workers: []int{1, 1, 2, 4}[pick(4, 4)],
 		Seed:    seed,
 	}
 	sc.Fault = c.rotateFault(sc, pick(5, 6))
 	// Occasional two-epoch scenarios on idempotent kernels probe
-	// mid-epoch crashes against stale prior-epoch checksums.
-	if sc.Backend != BackendEP && pick(6, 10) == 0 &&
+	// mid-epoch crashes against stale prior-epoch checksums (an LP
+	// notion: the non-LP models carry no epoch salt).
+	if !isModelBackend(sc.Backend) && pick(6, 10) == 0 &&
 		faultsim.Applicable(sc.Kernel, faultsim.DataBitFlips) {
 		sc.Epochs = 2
 	}
@@ -216,7 +234,7 @@ func (c *Checker) randomDiff(cfg Config, seed uint64) (Repro, string) {
 	case 1:
 		return Repro{Family: FamilyDiffStores, Kernel: &sc}, "diff-stores " + sc.String()
 	default:
-		return Repro{Family: FamilyDiffEP, Kernel: &sc}, "diff-ep " + sc.String()
+		return Repro{Family: FamilyDiffModels, Kernel: &sc}, "diff-models " + sc.String()
 	}
 }
 
@@ -230,10 +248,40 @@ func denseOf(names []string) []string {
 	return out
 }
 
+// opsOf estimates a reproducer's cost in op units — the currency of the
+// deterministic MaxOps budget. Raw memory operations count one each;
+// the heavier families carry flat weights roughly proportional to their
+// simulated work: a kernel scenario runs a full launch plus recovery
+// (~40), differentials multiply that by the number of variant runs, and
+// a scrub scenario is a short kernel plus media sweeps (~30). The
+// weights are part of the budget's definition: changing them changes
+// which scenarios a given MaxOps runs.
+func opsOf(r Repro) int64 {
+	switch r.Family {
+	case FamilyMemOps:
+		if r.MemOps == nil {
+			return 1
+		}
+		return int64(len(r.MemOps.Ops))
+	case FamilyKernel:
+		return 40
+	case FamilyDiffWorkers:
+		return 2 * 40
+	case FamilyDiffStores:
+		return 4 * 40
+	case FamilyDiffEP, FamilyDiffModels:
+		return 4 * 40
+	case FamilyScrub:
+		return 30
+	}
+	return 1
+}
+
 // check runs one reproducer, accounts it, and shrinks it on failure.
 func (c *Checker) check(rep *Report, r Repro, label string) {
 	err := c.RunRepro(r)
 	rep.Scenarios++
+	rep.Ops += opsOf(r)
 	switch r.Family {
 	case FamilyMemOps:
 		rep.MemOps++

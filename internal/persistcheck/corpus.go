@@ -19,8 +19,11 @@ const (
 	FamilyKernel      = "kernel"
 	FamilyDiffWorkers = "diff-workers"
 	FamilyDiffStores  = "diff-stores"
-	FamilyDiffEP      = "diff-ep"
-	FamilyScrub       = "scrub"
+	FamilyDiffModels  = "diff-models"
+	// FamilyDiffEP is the legacy name of the model differential; old
+	// reproducers replay through FamilyDiffModels' check.
+	FamilyDiffEP = "diff-ep"
+	FamilyScrub  = "scrub"
 )
 
 // Repro is a self-contained, replayable scenario of any family.
@@ -65,7 +68,7 @@ func (c *Checker) RunRepro(r Repro) error {
 			return fmt.Errorf("persistcheck: %s repro has no scrub scenario", r.Family)
 		}
 		return c.RunScrub(*r.Scrub)
-	case FamilyKernel, FamilyDiffWorkers, FamilyDiffStores, FamilyDiffEP:
+	case FamilyKernel, FamilyDiffWorkers, FamilyDiffStores, FamilyDiffModels, FamilyDiffEP:
 		if r.Kernel == nil {
 			return fmt.Errorf("persistcheck: %s repro has no kernel scenario", r.Family)
 		}
@@ -77,7 +80,7 @@ func (c *Checker) RunRepro(r Repro) error {
 		case FamilyDiffStores:
 			return c.RunDiffStores(*r.Kernel)
 		default:
-			return c.RunDiffEP(*r.Kernel)
+			return c.RunDiffModels(*r.Kernel)
 		}
 	default:
 		return fmt.Errorf("persistcheck: unknown repro family %q", r.Family)

@@ -73,29 +73,49 @@ func (c *Checker) RunDiffStores(sc KernelScenario) error {
 	return nil
 }
 
-// RunDiffEP checks LP against the Eager Persistency baseline: two
-// entirely different persistency mechanisms (checksum validation + re-
-// execution vs redo-log replay) must converge on identical outputs.
-func (c *Checker) RunDiffEP(sc KernelScenario) error {
-	if !epEligible(sc.Kernel, sc.Fault) {
-		return fmt.Errorf("persistcheck: %v: fault kind not checkable under EP", sc)
+// RunDiffModels checks every registered persistency model against LP on
+// the same seeded scenario: entirely different persistency mechanisms —
+// checksum validation + re-execution, redo-log replay, buffered release
+// flags, strict in-order flushing — must converge on identical
+// recovered outputs. The scenario's fault kind must be decidable under
+// the most restrictive model (they share one applicability matrix).
+func (c *Checker) RunDiffModels(sc KernelScenario) error {
+	if !modelEligible(BackendEP, sc.Kernel, sc.Fault) {
+		return fmt.Errorf("persistcheck: %v: fault kind not checkable under the non-LP models", sc)
 	}
 	lpv := sc
 	lpv.Backend = BackendGlobalArray
-	epv := sc
-	epv.Backend = BackendEP
-	a, err := c.runKernel(lpv)
+	ref, err := c.runKernel(lpv)
 	if err != nil {
 		return err
 	}
-	if a.typedErr {
-		return fmt.Errorf("persistcheck: %v: LP recovery gave up (%s) on a repairable fault", lpv, a.errText)
+	if ref.typedErr {
+		return fmt.Errorf("persistcheck: %v: LP recovery gave up (%s) on a repairable fault", lpv, ref.errText)
 	}
-	b, err := c.runKernel(epv)
-	if err != nil {
-		return err
+	for _, backend := range Backends {
+		if !isModelBackend(backend) {
+			continue
+		}
+		v := sc
+		v.Backend = backend
+		art, err := c.runKernel(v)
+		if err != nil {
+			return err
+		}
+		if err := diffOutputs(fmt.Sprintf("%v: LP vs %s", sc, backend), ref, art); err != nil {
+			return err
+		}
 	}
-	return diffOutputs(fmt.Sprintf("%v: LP vs EP", sc), a, b)
+	return nil
+}
+
+// RunDiffEP is the legacy LP-vs-EP differential.
+//
+// Deprecated: it now delegates to RunDiffModels, which additionally
+// covers sbrp and strict; recorded diff-ep reproducers replay through
+// the stronger check.
+func (c *Checker) RunDiffEP(sc KernelScenario) error {
+	return c.RunDiffModels(sc)
 }
 
 func diffOutputs(label string, a, b *runArtifacts) error {

@@ -1,8 +1,9 @@
-// Kernel scenario family: full Lazy Persistency (or Eager Persistency)
-// runs of the benchmark suite under seeded fault injection, with three
-// layers of assertions — the oracle image equality, the independent
-// prediction of validation's verdict from the oracle image alone, and
-// bit-exact recovery against the fault-free golden image.
+// Kernel scenario family: full persistency-model runs of the benchmark
+// suite under seeded fault injection, with three layers of assertions —
+// the oracle image equality, the independent prediction of the model's
+// recovery verdict from the oracle image alone (each model's own
+// durable-state contract), and bit-exact recovery against the
+// fault-free golden image.
 package persistcheck
 
 import (
@@ -12,26 +13,36 @@ import (
 	"sort"
 
 	"gpulp/internal/core"
-	"gpulp/internal/ep"
 	"gpulp/internal/faultsim"
 	"gpulp/internal/gpusim"
 	"gpulp/internal/hashtab"
 	"gpulp/internal/kernels"
 	"gpulp/internal/memsim"
+	"gpulp/internal/pmodel"
 )
 
-// Backend names a persistency design point: one of the four checksum
-// store organizations, or the EP redo-log baseline.
+// Backend names a persistency design point: one of the four LP checksum
+// store organizations, or a non-LP model from the pmodel registry (the
+// EP redo-log baseline, scoped buffered release, strict persistency).
 const (
 	BackendQuad        = "quad"
 	BackendCuckoo      = "cuckoo"
 	BackendChained     = "chained"
 	BackendGlobalArray = "global-array"
 	BackendEP          = "ep"
+	BackendSBRP        = "sbrp"
+	BackendStrict      = "strict"
 )
 
 // Backends lists every design point the checker exercises.
-var Backends = []string{BackendQuad, BackendCuckoo, BackendChained, BackendGlobalArray, BackendEP}
+var Backends = []string{BackendQuad, BackendCuckoo, BackendChained, BackendGlobalArray,
+	BackendEP, BackendSBRP, BackendStrict}
+
+// isModelBackend reports whether backend is a non-LP pmodel registry
+// model (checked by runModel) rather than an LP checksum store.
+func isModelBackend(backend string) bool {
+	return backend == BackendEP || backend == BackendSBRP || backend == BackendStrict
+}
 
 // KernelScenario is one replayable kernel-level check.
 type KernelScenario struct {
@@ -68,19 +79,15 @@ func (s KernelScenario) String() string {
 	return out
 }
 
-// epEligible reports whether the EP baseline can check kernel under
-// kind. EP protects 32-bit stores with full-value redo logging, so any
-// Table I kernel survives a post-kernel crash by replay alone; crashes
-// that leave uncommitted blocks additionally need byte-idempotent
-// re-execution, which only the dense kernels guarantee.
-func epEligible(kernel string, kind faultsim.Kind) bool {
-	switch kind {
-	case faultsim.CleanCrash, faultsim.PartialEviction, faultsim.TornWriteback:
-		return true
-	case faultsim.MidKernelCrash:
-		return faultsim.Applicable(kernel, faultsim.DataBitFlips)
-	}
-	return false // EP has no checksums; media flips are undetectable by design
+// modelEligible reports whether backend can check kernel under kind —
+// the per-model applicability matrix, shared with the fault campaigns.
+// The non-LP models survive post-kernel crashes by replay or eager
+// durability alone; crashes that leave unfinished blocks additionally
+// need byte-idempotent re-execution, which only the dense kernels
+// guarantee, and none of them has checksums, so media flips are
+// undetectable by design.
+func modelEligible(backend, kernel string, kind faultsim.Kind) bool {
+	return faultsim.ModelApplicable(backend, kernel, kind)
 }
 
 // Checker runs kernel scenarios against cached golden images on a fixed
@@ -175,8 +182,8 @@ func (c *Checker) runKernel(sc KernelScenario) (art *runArtifacts, err error) {
 			art, err = nil, fmt.Errorf("persistcheck: %v: panic: %v", sc, r)
 		}
 	}()
-	if sc.Backend == BackendEP {
-		return c.runEP(sc)
+	if isModelBackend(sc.Backend) {
+		return c.runModel(sc)
 	}
 	return c.runLP(sc)
 }
@@ -349,22 +356,28 @@ func (c *Checker) runLP(sc KernelScenario) (*runArtifacts, error) {
 	return art, nil
 }
 
-func (c *Checker) runEP(sc KernelScenario) (*runArtifacts, error) {
-	if !epEligible(sc.Kernel, sc.Fault) {
-		return nil, fmt.Errorf("persistcheck: %v: fault kind not checkable under EP", sc)
+// runModel checks a non-LP registry model (ep, sbrp, strict) against
+// its own durable-image contract: the oracle image equality, the
+// model's PredictDamage-vs-Recover agreement, and bit-exact recovery
+// against the fault-free golden.
+func (c *Checker) runModel(sc KernelScenario) (*runArtifacts, error) {
+	if !modelEligible(sc.Backend, sc.Kernel, sc.Fault) {
+		return nil, fmt.Errorf("persistcheck: %v: fault kind not checkable under model %s", sc, sc.Backend)
 	}
 	golden, err := c.golden(sc.Kernel)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := c.logEntriesFor(sc.Kernel)
-	if err != nil {
-		return nil, err
+	var popt pmodel.Options
+	if sc.Backend == BackendEP {
+		entries, err := c.logEntriesFor(sc.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		popt.EPEntries = entries
 	}
-	// EP's wrapper keeps per-block log cursors in host closures that the
-	// speculative engine does not stage; EP scenarios run serially.
 	opt := c.Opt
-	opt.Dev.Workers = 1
+	opt.Dev.Workers = sc.Workers
 
 	rng := rand.New(rand.NewSource(int64(splitmix(sc.Seed))))
 	mem := memsim.MustNew(opt.Mem)
@@ -374,8 +387,8 @@ func (c *Checker) runEP(sc KernelScenario) (*runArtifacts, error) {
 	w := kernels.New(sc.Kernel, opt.Scale)
 	w.Setup(dev)
 	grid, blk := w.Geometry()
-	rt := ep.New(dev, grid, blk, entries)
-	wrapped := rt.Wrap(w.Kernel(nil), w.Outputs()...)
+	m := pmodel.MustLookup(sc.Backend).New(dev, w, popt)
+	wrapped := m.Kernel()
 
 	if sc.Fault == faultsim.MidKernelCrash {
 		after := sc.AfterBlocks
@@ -392,32 +405,32 @@ func (c *Checker) runEP(sc KernelScenario) (*runArtifacts, error) {
 		injectFault(mem, rng, sc, w, golden, nil)
 	}
 
+	// Assertion 1: the durable image is exactly what the event stream
+	// says it should be.
 	if err := o.Check(); err != nil {
 		return nil, fmt.Errorf("%v: post-crash: %w", sc, err)
 	}
 	art := &runArtifacts{postCrash: mem.NVMImage()}
 
-	// EP spec: the oracle image's commit flags predict exactly the
-	// committed/uncommitted split Recover reports.
-	committed := rt.ImageCommitted(o.Image())
-	rep := rt.Recover()
-	var wantUncommitted []int
-	for blk, ok := range committed {
-		if !ok {
-			wantUncommitted = append(wantUncommitted, blk)
+	// Assertion 2, the durable-state contract: the damage the model
+	// predicts from the oracle image alone must be exactly what its
+	// recovery reports repairing.
+	predicted := m.PredictDamage(o.Image())
+	rep, rerr := m.Recover()
+	if rerr != nil {
+		if core.IsTypedRecoveryError(rerr) {
+			art.typedErr = true
+			art.errText = rerr.Error()
+			return art, nil
 		}
+		return nil, fmt.Errorf("%v: model %s recovery failed untypedly: %w", sc, sc.Backend, rerr)
 	}
-	if rep.Committed != grid.Size()-len(wantUncommitted) || !equalIntSets(rep.Uncommitted, wantUncommitted) {
-		return nil, fmt.Errorf("%v: EP recovery report diverges from oracle flags: committed %d want %d, uncommitted %v want %v",
-			sc, rep.Committed, grid.Size()-len(wantUncommitted), head(rep.Uncommitted), head(wantUncommitted))
+	if !equalIntSets(predicted, rep.Damaged) {
+		return nil, fmt.Errorf("%v: model %s recovery diverges from its durable-state contract: predicted %d damaged %v, repaired %d %v",
+			sc, sc.Backend, len(predicted), head(predicted), len(rep.Damaged), head(rep.Damaged))
 	}
-	if len(rep.Uncommitted) > 0 {
-		// Dense kernels are byte-idempotent: re-executing the whole grid
-		// over the replayed durable state is the EP recovery of last
-		// resort (epEligible gates mid-kernel crashes to these).
-		dev.SetCrashTrigger(nil)
-		dev.Launch(sc.Kernel+"-reexec", grid, blk, wrapped)
-	}
+
+	// Assertion 3: recovery restored the golden image bit for bit.
 	if f, ok := w.(kernels.Finalizer); ok {
 		name, fg, fb, k := f.FinalizeKernel()
 		dev.Launch(name, fg, fb, k)
@@ -426,10 +439,11 @@ func (c *Checker) runEP(sc KernelScenario) (*runArtifacts, error) {
 	for i, r := range w.Outputs() {
 		img := mem.PeekNVM(r.Base, r.Size)
 		if !bytes.Equal(img, golden.Output(i)) {
-			return nil, fmt.Errorf("%v: EP-recovered image of %s diverges from golden", sc, r.Name)
+			return nil, fmt.Errorf("%v: %s-recovered image of %s diverges from golden", sc, sc.Backend, r.Name)
 		}
 		art.outputs = append(art.outputs, img)
 	}
+	// The oracle must have followed recovery's mutations too.
 	if err := o.Check(); err != nil {
 		return nil, fmt.Errorf("%v: post-recovery: %w", sc, err)
 	}

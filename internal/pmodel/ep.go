@@ -1,0 +1,72 @@
+package pmodel
+
+import (
+	"gpulp/internal/ep"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// epModel adapts the Eager Persistency baseline (internal/ep) to the
+// Model contract. The instrumented kernel is ep.Wrap's redo-log +
+// clwb + persist-barrier pipeline, unchanged; damage prediction reads
+// the per-block commit flags from the durable image; recovery replays
+// committed logs and selectively re-executes uncommitted blocks.
+type epModel struct {
+	dev    *gpusim.Device
+	e      *ep.EP
+	name   string
+	grid   gpusim.Dim3
+	blk    gpusim.Dim3
+	kernel gpusim.KernelFunc
+}
+
+func newEP(dev *gpusim.Device, w Workload, opt Options) Model {
+	grid, blk := w.Geometry()
+	entries := opt.EPEntries
+	if entries <= 0 {
+		// Four logged stores per thread covers every Table I kernel.
+		entries = blk.Size() * 4
+	}
+	e := ep.New(dev, grid, blk, entries)
+	return &epModel{
+		dev:    dev,
+		e:      e,
+		name:   w.Name(),
+		grid:   grid,
+		blk:    blk,
+		kernel: e.Wrap(w.Kernel(nil), w.Outputs()...),
+	}
+}
+
+func (m *epModel) Name() string                     { return "ep" }
+func (m *epModel) Kernel() gpusim.KernelFunc        { return m.kernel }
+func (m *epModel) MetadataBytes() int64             { return m.e.LogBytes() + int64(m.grid.Size())*8 }
+func (m *epModel) MetadataRegions() []memsim.Region { return m.e.MetadataRegions() }
+
+// PredictDamage names the blocks whose commit flag never persisted —
+// exactly the set Recover must re-execute. Committed blocks are never
+// damage: their redo log is durable by construction (flushed and fenced
+// before the flag), so replay restores them without re-execution.
+func (m *epModel) PredictDamage(img []byte) []int {
+	var damaged []int
+	for blk, committed := range m.e.ImageCommitted(img) {
+		if !committed {
+			damaged = append(damaged, blk)
+		}
+	}
+	return damaged
+}
+
+func (m *epModel) Recover() (Report, error) {
+	rep := m.e.Recover()
+	out := Report{
+		Damaged:  rep.Uncommitted,
+		Replayed: rep.Replayed,
+		Tier:     "replay+reexec",
+	}
+	if len(rep.Uncommitted) > 0 {
+		res := m.dev.LaunchSelected(m.name+"-reexec", m.grid, m.blk, m.kernel, rep.Uncommitted)
+		out.Cycles = res.Cycles
+	}
+	return out, nil
+}

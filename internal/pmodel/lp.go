@@ -1,0 +1,89 @@
+package pmodel
+
+import (
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// lpModel adapts the Lazy Persistency runtime (internal/core) to the
+// Model contract. It is a thin delegation layer: the kernel is the
+// workload's own LP-instrumented body (the Listing 2 pattern), damage
+// prediction is the checksum store's ImageLookup over the durable
+// image, and recovery is the hardened three-tier escalation — exactly
+// the machinery the harness and fault campaigns already exercise, so
+// runs through the adapter are bit-identical to direct core use.
+type lpModel struct {
+	lp        *core.LP
+	kernel    gpusim.KernelFunc
+	recompute core.RecomputeFunc
+	ck        *core.Checkpoint
+	maxRounds int
+}
+
+func newLP(dev *gpusim.Device, w Workload, opt Options) Model {
+	grid, blk := w.Geometry()
+	cfg := opt.lpConfig()
+	lp := core.New(dev, cfg, grid, blk)
+	var ck *core.Checkpoint
+	if opt.Checkpoint {
+		// The durable state right after setup is the restore point of
+		// last resort (tier 3).
+		ck = core.CaptureCheckpoint(dev.Mem())
+	}
+	return &lpModel{
+		lp:        lp,
+		kernel:    w.Kernel(lp),
+		recompute: w.Recompute(),
+		ck:        ck,
+		maxRounds: opt.maxRounds(),
+	}
+}
+
+func (m *lpModel) Name() string              { return "lp" }
+func (m *lpModel) Kernel() gpusim.KernelFunc { return m.kernel }
+func (m *lpModel) MetadataBytes() int64      { return m.lp.TableBytes() }
+func (m *lpModel) SetEpoch(epoch uint64)     { m.lp.SetEpoch(epoch) }
+func (m *lpModel) MetadataRegions() []memsim.Region {
+	return m.lp.Store().TableRegions()
+}
+
+// LP returns the underlying runtime (epoch control, store statistics).
+func (m *lpModel) LP() *core.LP { return m.lp }
+
+// PredictDamage recomputes every region's checksums from durable data
+// and compares them against the checksum store as serialized in img:
+// regions whose stored entry is missing, torn, or mismatched are the
+// ones validation must fail. This is the LP durable-image contract the
+// crash-consistency oracle checks.
+func (m *lpModel) PredictDamage(img []byte) []int {
+	perBlock, _ := m.lp.RecomputeStates(m.recompute)
+	cfg := m.lp.Config()
+	var damaged []int
+	for reg := 0; reg < m.lp.Regions(); reg++ {
+		stored, ok := m.lp.Store().ImageLookup(img, uint64(reg))
+		if !ok || !stored.Matches(perBlock[reg], cfg.Checksum) {
+			damaged = append(damaged, reg)
+		}
+	}
+	return damaged
+}
+
+func (m *lpModel) Recover() (Report, error) {
+	// The first validation names the damage set; hardened recovery then
+	// escalates until a round validates clean (or gives up typedly).
+	failed, vres, err := m.lp.Validate(m.recompute)
+	if err != nil {
+		return Report{Tier: core.TierSelective.String(), Cycles: vres.Cycles}, err
+	}
+	rep, rerr := m.lp.RecoverHardened(m.kernel, m.recompute, core.RecoverOpts{
+		MaxRounds:  m.maxRounds,
+		Checkpoint: m.ck,
+	})
+	out := Report{
+		Damaged: failed,
+		Tier:    rep.Tier.String(),
+		Cycles:  vres.Cycles + rep.TotalCycles(),
+	}
+	return out, rerr
+}

@@ -1,0 +1,130 @@
+// Package pmodel defines the PersistencyModel contract: one interface
+// behind which every persistency design the repo simulates — Lazy
+// Persistency's checksums (internal/core), Eager Persistency's redo log
+// (internal/ep), scoped buffered release persistency (SBRP), and strict
+// persistency — presents the same three faces:
+//
+//   - an instrumented kernel: the workload's body with the model's
+//     persist-ordering machinery (store hooks, line flushes, persist
+//     barriers, block-boundary commits) wrapped around it;
+//   - a durable-state contract: PredictDamage inspects a raw durable
+//     image (memsim.NVMImage or the crash-consistency oracle's shadow)
+//     and names the damage recovery must find — without touching the
+//     device. The persistcheck oracle holds each model to exactly this
+//     prediction;
+//   - a recovery entry: Recover repairs the durable state after a crash
+//     and reports what it repaired, in the same units PredictDamage
+//     speaks.
+//
+// Models register themselves in a name registry (see registry.go), so
+// the harness, fault campaigns, the model checker and the CLI tools
+// sweep "every registered model" instead of hard-coding the LP-vs-EP
+// duality.
+package pmodel
+
+import (
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// Workload is the slice of a benchmark a persistency model binds to.
+// kernels.Workload satisfies it structurally; pmodel deliberately does
+// not import the kernels package so faultsim and the harness can layer
+// on top without cycles.
+type Workload interface {
+	// Name returns the benchmark's short name.
+	Name() string
+	// Geometry returns the launch dimensions.
+	Geometry() (grid, block gpusim.Dim3)
+	// Kernel returns the kernel body; nil runs it bare, an LP runtime
+	// adds the paper's inline checksum instrumentation.
+	Kernel(lp *core.LP) gpusim.KernelFunc
+	// Recompute returns the LP crash-validation refold.
+	Recompute() core.RecomputeFunc
+	// Outputs lists the persistent output regions the model protects.
+	Outputs() []memsim.Region
+}
+
+// Report is the uniform recovery summary every model returns.
+type Report struct {
+	// Damaged lists the damage units recovery repaired — the model's
+	// own granularity (LP: checksum regions, which equal thread blocks
+	// at the default fusion; EP/SBRP/strict: thread blocks). A model's
+	// PredictDamage must name exactly this set from the durable image
+	// alone; the persistcheck oracle enforces the equality.
+	Damaged []int `json:"damaged,omitempty"`
+	// Replayed counts redo-log records applied (EP only).
+	Replayed int `json:"replayed,omitempty"`
+	// Tier names the mechanism recovery used ("selective", "full-grid",
+	// "checkpoint", "replay+reexec", "release-reexec").
+	Tier string `json:"tier"`
+	// Cycles is the simulated recovery cost (validation + repair).
+	Cycles int64 `json:"cycles"`
+}
+
+// Model is one persistency model bound to a device and one workload
+// geometry. Construction (Spec.New) happens after Workload.Setup and
+// allocates the model's durable metadata — checksum store, redo log, or
+// release flags — on the device.
+type Model interface {
+	// Name returns the registry name ("lp", "ep", "sbrp", "strict").
+	Name() string
+	// Kernel returns the instrumented kernel: the workload body with
+	// the model's persist-ordering hooks around stores, fences, and the
+	// kernel boundary. Launch it with the workload's geometry.
+	Kernel() gpusim.KernelFunc
+	// MetadataBytes is the durable metadata footprint (the model's
+	// space overhead).
+	MetadataBytes() int64
+	// MetadataRegions lists the metadata regions (fault-injection and
+	// oracle targets).
+	MetadataRegions() []memsim.Region
+	// PredictDamage reads a raw durable image and returns, in ascending
+	// order, the damage units the model's own recovery must repair —
+	// the durable-state contract, decided without the device.
+	PredictDamage(img []byte) []int
+	// Recover repairs durable state after a crash. On success the
+	// workload's outputs (after any finalizer and a flush) must equal a
+	// fault-free run's; unrecoverable damage surfaces as a typed error
+	// (core.IsTypedRecoveryError).
+	Recover() (Report, error)
+}
+
+// Epocher is implemented by models with epoch-salted metadata (LP's
+// checksum salt); other models ignore epochs.
+type Epocher interface {
+	SetEpoch(epoch uint64)
+}
+
+// Options carries per-model tuning. The zero value works for every
+// model.
+type Options struct {
+	// LP is the Lazy Persistency design point (nil = core.DefaultConfig).
+	LP *core.Config
+	// MaxRounds bounds LP's selective-recovery escalation (<=0 = 3).
+	MaxRounds int
+	// Checkpoint captures a durable checkpoint at bind time, arming
+	// LP's tier-3 restore.
+	Checkpoint bool
+	// EPEntries is EP's per-block redo-log capacity (<=0 = 4 entries
+	// per thread, enough for every Table I kernel).
+	EPEntries int
+	// SBRPBuffer is SBRP's per-scope persist-buffer capacity in cache
+	// lines (<=0 = 8, the bounded hardware buffer the model posits).
+	SBRPBuffer int
+}
+
+func (o Options) lpConfig() core.Config {
+	if o.LP != nil {
+		return *o.LP
+	}
+	return core.DefaultConfig()
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 3
+	}
+	return o.MaxRounds
+}

@@ -1,0 +1,103 @@
+package pmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"gpulp/internal/gpusim"
+)
+
+// Spec describes one registered persistency model.
+type Spec struct {
+	// Name is the registry key, as the CLI -model flags spell it.
+	Name string
+	// Title is a one-line description for listings and docs.
+	Title string
+	// New binds the model to a device and a workload whose Setup has
+	// already run, allocating its durable metadata.
+	New func(dev *gpusim.Device, w Workload, opt Options) Model
+}
+
+// registry lists every model in presentation order: the paper's design,
+// its §I/§II antagonist, then the two spectrum points between them.
+// A slice, not a map: iteration order is part of the determinism
+// contract (sweeps and reports follow it).
+var registry = []Spec{
+	{Name: "lp", Title: "Lazy Persistency: block checksums, no flushes or fences (§II-A)", New: newLP},
+	{Name: "ep", Title: "Eager/epoch persistency: redo log + clwb + persist barriers (§I/§II)", New: newEP},
+	{Name: "sbrp", Title: "Scoped buffered release persistency: bounded per-scope persist buffer draining at release fences", New: newSBRP},
+	{Name: "strict", Title: "Strict persistency: every store flushed and fenced in program order", New: newStrict},
+}
+
+// Specs returns every registered model, in registry order.
+func Specs() []Spec {
+	return append([]Spec(nil), registry...)
+}
+
+// Names returns the registered model names, in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup finds a model by name (case-insensitive, surrounding space
+// ignored).
+func Lookup(name string) (Spec, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MustLookup is Lookup for registered-by-construction names; it panics
+// on an unknown one.
+func MustLookup(name string) Spec {
+	s, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("pmodel: unknown persistency model %q", name))
+	}
+	return s
+}
+
+// Parse resolves a -model flag value: a comma-separated list of model
+// names, or "all" (also the meaning of an empty string). Names are
+// case-insensitive; duplicates collapse to the first occurrence; the
+// result preserves the order given. Unknown names error, listing what
+// is registered.
+func Parse(list string) ([]Spec, error) {
+	trimmed := strings.ToLower(strings.TrimSpace(list))
+	if trimmed == "" || trimmed == "all" {
+		return Specs(), nil
+	}
+	var out []Spec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.EqualFold(part, "all") {
+			return nil, fmt.Errorf("pmodel: %q mixes \"all\" with explicit model names", list)
+		}
+		s, ok := Lookup(part)
+		if !ok {
+			return nil, fmt.Errorf("pmodel: unknown persistency model %q (registered: %s)",
+				part, strings.Join(Names(), ", "))
+		}
+		if seen[s.Name] {
+			continue
+		}
+		seen[s.Name] = true
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pmodel: empty model list %q (registered: %s)", list, strings.Join(Names(), ", "))
+	}
+	return out, nil
+}

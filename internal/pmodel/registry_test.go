@@ -1,0 +1,78 @@
+package pmodel_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpulp/internal/pmodel"
+)
+
+func specNames(specs []pmodel.Spec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func TestRegistryOrder(t *testing.T) {
+	want := []string{"lp", "ep", "sbrp", "strict"}
+	got := pmodel.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (registry order is part of the determinism contract)", i, got[i], want[i])
+		}
+	}
+	for _, n := range want {
+		s, ok := pmodel.Lookup(n)
+		if !ok || s.Name != n || s.New == nil || s.Title == "" {
+			t.Fatalf("Lookup(%q) = %+v, %v", n, s, ok)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string // comma-joined spec names, "" with wantErr
+		wantErr string // substring of the expected error
+	}{
+		{in: "", want: "lp,ep,sbrp,strict"},
+		{in: "all", want: "lp,ep,sbrp,strict"},
+		{in: "ALL", want: "lp,ep,sbrp,strict"},
+		{in: "  all  ", want: "lp,ep,sbrp,strict"},
+		{in: "lp", want: "lp"},
+		{in: "strict", want: "strict"},
+		{in: "ep,lp", want: "ep,lp"}, // order given, not registry order
+		{in: "SBRP", want: "sbrp"},
+		{in: " Lp , eP ", want: "lp,ep"},
+		{in: "lp,lp,ep,LP", want: "lp,ep"}, // duplicates keep the first
+		{in: "lp,,ep", want: "lp,ep"},      // empty elements are skipped
+		{in: "epoch", wantErr: "unknown persistency model \"epoch\""},
+		{in: "lp,bogus", wantErr: "registered: lp, ep, sbrp, strict"},
+		{in: "lp,all", wantErr: "mixes \"all\""},
+		{in: "all,ep", wantErr: "mixes \"all\""},
+		{in: ",,", wantErr: "empty model list"},
+	}
+	for _, tc := range cases {
+		got, err := pmodel.Parse(tc.in)
+		if tc.wantErr != "" {
+			if err == nil {
+				t.Errorf("Parse(%q) = %s, want error containing %q", tc.in, specNames(got), tc.wantErr)
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Parse(%q) error = %q, want it to contain %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", tc.in, err)
+			continue
+		}
+		if names := specNames(got); names != tc.want {
+			t.Errorf("Parse(%q) = %s, want %s", tc.in, names, tc.want)
+		}
+	}
+}

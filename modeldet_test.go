@@ -1,0 +1,95 @@
+package gpulp_test
+
+// Determinism pin for the persistency-model zoo: every registered model
+// — crash, damage prediction, recovery, durable image — must be
+// bit-identical between the serial engine (Workers=1) and the parallel
+// engine (Workers=detWorkers). This is the contract that lets the
+// model-compare harness, the model fault campaigns, and persistcheck's
+// model scenarios run parallel without perturbing a single number.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/kernels"
+	"gpulp/internal/memsim"
+	"gpulp/internal/pmodel"
+)
+
+// modelRun captures every observable output of one crash-recovery run
+// under a persistency model.
+type modelRun struct {
+	launch    gpusim.LaunchResult
+	predicted []int
+	report    pmodel.Report
+	nvm       []byte
+}
+
+func runModelRecovery(t *testing.T, spec pmodel.Spec, workers int) modelRun {
+	t.Helper()
+	mem := memsim.MustNew(memsim.DefaultConfig())
+	devCfg := gpusim.DefaultConfig()
+	devCfg.Workers = workers
+	dev := gpusim.MustNew(devCfg, mem)
+	w := kernels.New("tmm", 1)
+	w.Setup(dev)
+	grid, blk := w.Geometry()
+	lpCfg := core.DefaultConfig()
+	m := spec.New(dev, w, pmodel.Options{LP: &lpCfg})
+
+	// Fire drops volatile cache contents at the crash instant, so the
+	// flag-based models see exactly what they made durable.
+	dev.SetCrashTrigger(&gpusim.CrashTrigger{AfterBlocks: grid.Size() / 2,
+		Fire: func(*gpusim.Device) { mem.Crash() }})
+	res := dev.Launch("tmm-"+spec.Name, grid, blk, m.Kernel())
+	if !res.Interrupted {
+		t.Fatalf("%s workers=%d: crash trigger did not fire", spec.Name, workers)
+	}
+	predicted := m.PredictDamage(mem.SnapshotNVM())
+	rep, err := m.Recover()
+	if err != nil {
+		t.Fatalf("%s workers=%d: recovery failed: %v", spec.Name, workers, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s workers=%d: post-recovery verify failed: %v", spec.Name, workers, err)
+	}
+	mem.FlushAll()
+	return modelRun{launch: res, predicted: predicted, report: rep, nvm: mem.NVMImage()}
+}
+
+// TestParallelDeterminismModels crashes TMM halfway through under every
+// registered persistency model with both engines and asserts identical
+// launch results, damage predictions, recovery reports, and
+// post-recovery durable images — and that each model's prediction names
+// exactly what its recovery repaired (the durable-state contract).
+func TestParallelDeterminismModels(t *testing.T) {
+	for _, spec := range pmodel.Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			serial := runModelRecovery(t, spec, 1)
+			parallel := runModelRecovery(t, spec, detWorkers)
+			if serial.launch != parallel.launch {
+				t.Errorf("launch result diverged\nserial:   %+v\nparallel: %+v", serial.launch, parallel.launch)
+			}
+			if !reflect.DeepEqual(serial.predicted, parallel.predicted) {
+				t.Errorf("damage prediction diverged\nserial:   %v\nparallel: %v", serial.predicted, parallel.predicted)
+			}
+			if !reflect.DeepEqual(serial.report, parallel.report) {
+				t.Errorf("recovery report diverged\nserial:   %+v\nparallel: %+v", serial.report, parallel.report)
+			}
+			if !bytes.Equal(serial.nvm, parallel.nvm) {
+				t.Errorf("post-recovery NVM image diverged")
+			}
+			if len(serial.predicted) == 0 {
+				t.Errorf("half-grid crash predicted no damage")
+			}
+			if !reflect.DeepEqual(serial.predicted, serial.report.Damaged) {
+				t.Errorf("durable-state contract broken: predicted %v, recovered %v",
+					serial.predicted, serial.report.Damaged)
+			}
+		})
+	}
+}
