@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lpvet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak model-smoke model-soak bench ci
+.PHONY: all vet lpvet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak model-smoke model-soak serve-smoke serve-soak bench ci
 
 all: ci
 
@@ -104,10 +104,27 @@ model-soak:
 	$(GO) run ./cmd/lpfault -model all -seeds 8 -parallel 4
 	$(GO) run ./cmd/lpcheck -model all -seed 1 -n 4000 -quiet
 
+# serve-smoke: the MEGA-KV serving layer under race, the root
+# determinism pin (Workers 1 vs 8, byte-identical reports), and a quick
+# mid-serving crash sweep over every persistency model. Exits non-zero
+# on any report divergence, ledger violation, recovery mismatch or
+# panic.
+serve-smoke:
+	$(GO) test -race ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestServeDeterminism' .
+	$(GO) run ./cmd/lpfault -serve -seeds 2 -parallel 4
+
+# serve-soak: the fuller serving sweep for scheduled CI — more crash
+# seeds per model plus the full harness serving experiment at host
+# parallelism.
+serve-soak:
+	$(GO) run ./cmd/lpfault -serve -seeds 8 -parallel 4
+	$(GO) run ./cmd/lpbench -exp serve -parallel 4
+
 # bench: regenerate every artifact benchmark, then record the
 # serial-vs-parallel wall-clock comparison to BENCH_parallel.json.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	BENCH_JSON=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -v .
 
-ci: vet build race race-parallel matrix smoke scrub-smoke cluster-smoke persistcheck-smoke model-smoke
+ci: vet build race race-parallel matrix smoke scrub-smoke cluster-smoke persistcheck-smoke model-smoke serve-smoke

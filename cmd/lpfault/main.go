@@ -20,6 +20,13 @@
 // bit-exactly on the survivors — or degrade honestly to the typed
 // cluster error.
 //
+// With -serve it runs the mid-serving crash campaign: full MEGA-KV
+// serving runs (seeded load, admission, batched launches) under each
+// selected persistency model, with the memory system crashed mid-way
+// through a seed-derived kernel launch; the in-loop recovery must leave
+// the durable store bit-exact against a crash-free run observed at the
+// same launch, and the admission ledger must hold to the end.
+//
 //	lpfault -seeds 12                      # 204-case default campaign
 //	lpfault -kernels tmm -kinds mid-kernel # one cell of the sweep
 //	lpfault -model all -seeds 4            # every persistency model, same faults
@@ -28,6 +35,8 @@
 //	lpfault -ratesweep -rates 0.01,0.1 -stuckfrac 0.2 -locks
 //	lpfault -cluster -devices 2,3 -seeds 4 # multi-device failover sweep
 //	lpfault -cluster -failures hang -routers least-loaded -json
+//	lpfault -serve -seeds 4                # mid-serving crash campaign
+//	lpfault -serve -model lp,strict -json
 package main
 
 import (
@@ -65,6 +74,8 @@ func main() {
 		watchdog  = flag.Int64("watchdog", 2_000_000, "kernel watchdog step budget for the rate sweep (0 disables)")
 		attempts  = flag.Int("attempts", 4, "self-heal attempts per rate-sweep case")
 
+		serveMode = flag.Bool("serve", false, "run the mid-serving crash campaign against the MEGA-KV serving layer instead of the crash-shape campaign")
+
 		clusterMode = flag.Bool("cluster", false, "run the multi-device failover campaign instead of the crash-shape campaign")
 		devices     = flag.String("devices", "2,3", "comma-separated cluster sizes to sweep")
 		routers     = flag.String("routers", "", "comma-separated dispatch routers (default: all of "+routerNames()+")")
@@ -75,7 +86,7 @@ func main() {
 	flag.Parse()
 
 	if err := validateFlags(*seeds, *scale, *cache, *parallel, *attempts, *stuckFrac,
-		*kernels, *repro, *rateSweep, *clusterMode, *jobs, *minAlive); err != nil {
+		*kernels, *repro, *rateSweep, *clusterMode, *serveMode, *jobs, *minAlive); err != nil {
 		fmt.Fprintln(os.Stderr, "lpfault:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -98,6 +109,10 @@ func main() {
 	if *clusterMode {
 		runCluster(opt, *devices, *routers, *failures, *jobs, *minAlive,
 			*seeds, *baseSeed, *parallel, *progress, *jsonOut)
+		return
+	}
+	if *serveMode {
+		runServe(*model, *seeds, *baseSeed, *parallel, *progress, *jsonOut)
 		return
 	}
 
@@ -155,7 +170,7 @@ func main() {
 // or two exclusive modes at once would otherwise run silently and report
 // a meaningless success.
 func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float64,
-	kernels, repro string, rateSweep, clusterMode bool, jobs, minAlive int) error {
+	kernels, repro string, rateSweep, clusterMode, serveMode bool, jobs, minAlive int) error {
 	// Which flags were explicitly set on the command line.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -179,11 +194,17 @@ func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float6
 		return fmt.Errorf("-stuckfrac %v must be in [0,1]", stuckFrac)
 	}
 
-	if rateSweep && clusterMode {
-		return fmt.Errorf("-ratesweep and -cluster are exclusive modes")
+	modes := 0
+	for _, m := range []bool{rateSweep, clusterMode, serveMode} {
+		if m {
+			modes++
+		}
 	}
-	if repro != "" && (rateSweep || clusterMode) {
-		return fmt.Errorf("-repro replays one crash-shape case and cannot combine with -ratesweep or -cluster")
+	if modes > 1 {
+		return fmt.Errorf("-ratesweep, -cluster and -serve are exclusive modes")
+	}
+	if repro != "" && modes > 0 {
+		return fmt.Errorf("-repro replays one crash-shape case and cannot combine with -ratesweep, -cluster or -serve")
 	}
 
 	// Mode-specific flags demand their mode: silently ignoring them would
@@ -204,16 +225,21 @@ func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float6
 			}
 		}
 	}
-	crashOnly := []string{"kernels", "kinds", "minimize", "maxrounds", "model"}
-	if rateSweep || clusterMode {
+	crashOnly := []string{"kernels", "kinds", "minimize", "maxrounds"}
+	if rateSweep || clusterMode || serveMode {
 		for _, name := range crashOnly {
 			if set[name] {
 				return fmt.Errorf("-%s only applies to the crash-shape campaign", name)
 			}
 		}
 	}
+	// -model selects persistency models for both the crash-shape and the
+	// serve campaigns, but is meaningless for the other modes.
+	if set["model"] && (rateSweep || clusterMode) {
+		return fmt.Errorf("-model only applies to the crash-shape and -serve campaigns")
+	}
 
-	if !rateSweep && !clusterMode && len(splitList(kernels)) == 0 {
+	if !rateSweep && !clusterMode && !serveMode && len(splitList(kernels)) == 0 {
 		return fmt.Errorf("-kernels is empty: the crash-shape campaign needs at least one workload")
 	}
 	if clusterMode {
@@ -337,6 +363,45 @@ func runCluster(opt faultsim.Options, deviceList, routerList, failureList string
 	}
 	if progress {
 		c.Progress = func(done, total int, r faultsim.ClusterResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %v -> %v\n", done, total, r.Case, r.Outcome)
+		}
+	}
+	rep, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}
+
+// runServe executes the mid-serving crash campaign and renders or
+// JSON-encodes its report; any contract violation exits non-zero.
+func runServe(models string, seeds int, baseSeed uint64, parallel int, progress, jsonOut bool) {
+	c := faultsim.DefaultServeCampaign(seeds)
+	c.BaseSeed = baseSeed
+	c.Parallel = parallel
+	if models != "" {
+		specs, err := pmodel.Parse(models)
+		if err != nil {
+			fatal(err)
+		}
+		c.Models = nil
+		for _, s := range specs {
+			c.Models = append(c.Models, s.Name)
+		}
+	}
+	if progress {
+		c.Progress = func(done, total int, r faultsim.ServeResult) {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %v -> %v\n", done, total, r.Case, r.Outcome)
 		}
 	}

@@ -1,0 +1,118 @@
+// Command lpserve runs the MEGA-KV serving layer: seeded open/closed-
+// loop load, admission control, batched kernel launches under a
+// selectable persistency model, and a per-SLO-class latency report.
+//
+//	lpserve -model lp -policy token-bucket
+//	lpserve -model ep -rate-scale 2 -json
+//	lpserve -model sbrp -crash 5        # inject a mid-serving crash
+//
+// Reports are deterministic: the same flags produce byte-identical
+// output at any -workers value and across reruns. See DESIGN.md §9 and
+// EXPERIMENTS.md for the recorded sweeps.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpulp/internal/pmodel"
+	"gpulp/internal/serve"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "lp", "persistency model: "+strings.Join(pmodel.Names(), ", ")+", or none (bare launches)")
+		policy    = flag.String("policy", "token-bucket", "admission policy: "+strings.Join(serve.PolicyNames(), ", "))
+		seed      = flag.Uint64("seed", 1, "seed for every random draw in the run")
+		horizon   = flag.Int64("horizon", 0, "arrival horizon in cycles (0 = default config)")
+		rateScale = flag.Float64("rate-scale", 1, "multiply every open-loop client's arrival rate")
+		admitRate = flag.Float64("admit-rate", 0, "token-bucket sustained admits per Mcycle (0 = default)")
+		burst     = flag.Int("admit-burst", 0, "token-bucket burst depth (0 = default)")
+		batch     = flag.Int("batch", 0, "max requests per kernel launch (0 = default; must be a multiple of 128)")
+		wait      = flag.Int64("wait", 0, "batching deadline in cycles (0 = default)")
+		workers   = flag.Int("workers", 1, "host goroutines executing thread blocks speculatively (bit-identical at any value)")
+		crash     = flag.Int("crash", 0, "crash the memory system during the Nth launch and recover (requires a persistency model)")
+		baseline  = flag.Bool("baseline", true, "also run the bare (model none) config and report durability overhead")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		list      = flag.Bool("list", false, "list models and admission policies, then exit")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lpserve: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *list {
+		fmt.Println("persistency models:")
+		fmt.Printf("  %-8s %s\n", "none", "no persistency: bare launches (the overhead baseline)")
+		for _, s := range pmodel.Specs() {
+			fmt.Printf("  %-8s %s\n", s.Name, s.Title)
+		}
+		fmt.Println("admission policies:")
+		for _, p := range serve.Policies() {
+			fmt.Printf("  %-13s %s\n", p.Name, p.Title)
+		}
+		return
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Model = strings.ToLower(strings.TrimSpace(*model))
+	cfg.Policy = *policy
+	cfg.Seed = *seed
+	if *horizon > 0 {
+		cfg.HorizonCycles = *horizon
+	}
+	if *rateScale != 1 {
+		for i := range cfg.Clients {
+			cfg.Clients[i].RatePerMCycle *= *rateScale
+			if cfg.Clients[i].Closed {
+				cfg.Clients[i].ThinkCycles /= *rateScale
+			}
+		}
+	}
+	if *admitRate > 0 {
+		cfg.AdmitRatePerMCycle = *admitRate
+	}
+	if *burst > 0 {
+		cfg.AdmitBurst = *burst
+	}
+	if *batch > 0 {
+		cfg.MaxBatch = *batch
+	}
+	if *wait > 0 {
+		cfg.MaxWaitCycles = *wait
+	}
+	cfg.Dev.Workers = *workers
+	cfg.CrashAtLaunch = *crash
+
+	res, err := serve.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpserve:", err)
+		os.Exit(1)
+	}
+	if err := res.VerifyLedger(); err != nil {
+		fmt.Fprintln(os.Stderr, "lpserve: durable store contradicts the admission ledger:", err)
+		os.Exit(1)
+	}
+	if *baseline && cfg.Model != "none" && cfg.Model != "" {
+		base := cfg
+		base.Model = "none"
+		base.CrashAtLaunch = 0
+		if bres, berr := serve.Run(base); berr == nil {
+			res.Report.CompareBaseline(bres.Report)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Report); err != nil {
+			fmt.Fprintln(os.Stderr, "lpserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res.Report.Render(os.Stdout)
+}

@@ -89,6 +89,7 @@ var ContractPackages = map[string]bool{
 	"gpulp/internal/faultsim":     true,
 	"gpulp/internal/persistcheck": true,
 	"gpulp/internal/pmodel":       true,
+	"gpulp/internal/serve":        true,
 }
 
 // --- shared type-matching helpers ---

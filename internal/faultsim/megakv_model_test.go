@@ -1,0 +1,34 @@
+package faultsim
+
+import "testing"
+
+// TestModelMegaKVAtomicVisibility is the regression pin for a real bug
+// the serving layer surfaced: megakv claimed key slots with AtomicCASU64
+// and tombstoned them with AtomicExchU64, and gpusim atomics do not fire
+// the store hook — so EP's redo log (and, in principle, any hook-driven
+// persistency model) never saw the key words. Replaying such a log after
+// a crash restored values into slots whose keys were still zero, and
+// every EP clean-crash/partial-evict case on megakv-insert reported
+// "durable image of megakv.buckets diverges from fault-free golden".
+// megakv now issues hook-visible confirming stores after each atomic;
+// every model must recover the store bit-exact.
+func TestModelMegaKVAtomicVisibility(t *testing.T) {
+	opt := DefaultOptions()
+	for _, kernel := range []string{"megakv-insert", "megakv-mixed"} {
+		golden, err := GoldenRun(opt, kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range []string{"ep", "sbrp", "strict"} {
+			for _, kind := range []Kind{CleanCrash, PartialEviction} {
+				for seed := uint64(0); seed < 2; seed++ {
+					c := Case{Kernel: kernel, Kind: kind, Seed: 0xa70 + seed, Model: model}
+					r := RunCase(opt, c, golden)
+					if r.Outcome != Recovered {
+						t.Errorf("%s/%s/%v seed %#x: %v (%s)", model, kernel, kind, c.Seed, r.Outcome, r.Err)
+					}
+				}
+			}
+		}
+	}
+}

@@ -160,6 +160,7 @@ var Experiments = []Experiment{
 	{"scrubcampaign", "robustness: media-error rate sweep vs self-healing recovery", (*Runner).ScrubCampaign},
 	{"clustercampaign", "robustness: multi-device failover sweep vs sharded cross-device recovery", (*Runner).ClusterCampaign},
 	{"modelcompare", "persistency model zoo: LP vs EP vs SBRP vs strict", (*Runner).ModelCompare},
+	{"serve", "serving: MEGA-KV latency under load, admission and persistency models (§VII-4 online)", (*Runner).Serve},
 	{"scaling", "ablation: LP overhead vs thread-block count", (*Runner).Scaling},
 	{"fusion", "ablation: region fusion factor (§IV-A enlargement)", (*Runner).Fusion},
 	{"checkpoint", "ablation: checkpoint interval (§IV-A whole-cache flush)", (*Runner).Checkpoint},

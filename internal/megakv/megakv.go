@@ -52,6 +52,10 @@ func NewStore(dev *gpusim.Device, nbuckets int) *Store {
 // Buckets returns the bucket count.
 func (s *Store) Buckets() int { return s.nbuckets }
 
+// Capacity returns the total slot count; a batch admitting more distinct
+// keys than this is guaranteed to see insert overflows.
+func (s *Store) Capacity() int { return s.nbuckets * SlotsPerBucket }
+
 // Region returns the underlying memory region (for persistence checks).
 func (s *Store) Region() memsim.Region { return s.buckets }
 
@@ -95,6 +99,13 @@ func (s *Store) Insert(t *gpusim.Thread, key, val uint64) bool {
 			continue
 		}
 		if old := t.AtomicCASU64(s.buckets, s.keyWord(b, slot), cur, key); old == cur {
+			// Atomics serialize at the L2 but bypass the store hook, so a
+			// CAS-only claim is invisible to hook-driven persistency models
+			// (EP's redo log, strict's flush-per-store, SBRP's release
+			// buffer): a replayed log would restore the value into a slot
+			// whose key word never persisted. Confirm the claim with a
+			// hook-visible store of the same value.
+			t.StoreU64(s.buckets, s.keyWord(b, slot), key)
 			t.StoreU64(s.buckets, s.valWord(b, slot), val)
 			return true
 		}
@@ -124,6 +135,9 @@ func (s *Store) Delete(t *gpusim.Thread, key uint64) bool {
 	for slot := 0; slot < SlotsPerBucket; slot++ {
 		if t.LoadU64(s.buckets, s.keyWord(b, slot)) == key {
 			t.AtomicExchU64(s.buckets, s.keyWord(b, slot), Tombstone)
+			// Same-value confirming store: make the tombstone visible to
+			// hook-driven persistency models (see Insert).
+			t.StoreU64(s.buckets, s.keyWord(b, slot), Tombstone)
 			return true
 		}
 		t.Op(1)
@@ -132,19 +146,27 @@ func (s *Store) Delete(t *gpusim.Thread, key uint64) bool {
 }
 
 // HostInsert durably pre-populates the store (direct NVM writes), using
-// the same placement as device inserts. Panics when the bucket is full.
+// the same placement as device inserts: overwrite an existing slot for
+// the key first, then claim a free one. Panics when the bucket is full.
 func (s *Store) HostInsert(key, val uint64) {
 	s.checkKey(key)
 	b := s.bucketOf(key)
+	free := -1
 	for slot := 0; slot < SlotsPerBucket; slot++ {
 		cur := s.buckets.PeekU64(s.keyWord(b, slot))
-		if cur == key || cur == 0 || cur == Tombstone {
-			s.buckets.HostPutU64(s.keyWord(b, slot), key)
+		if cur == key {
 			s.buckets.HostPutU64(s.valWord(b, slot), val)
 			return
 		}
+		if free < 0 && (cur == 0 || cur == Tombstone) {
+			free = slot
+		}
 	}
-	panic(fmt.Sprintf("megakv: bucket %d full during host pre-population", b))
+	if free < 0 {
+		panic(fmt.Sprintf("megakv: bucket %d full during host pre-population", b))
+	}
+	s.buckets.HostPutU64(s.keyWord(b, free), key)
+	s.buckets.HostPutU64(s.valWord(b, free), val)
 }
 
 // HostGet returns the coherent (cache-through) value for key.

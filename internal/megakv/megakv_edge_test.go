@@ -1,0 +1,220 @@
+package megakv
+
+import (
+	"bytes"
+	"testing"
+
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+)
+
+// These tests pin the batch edge cases surfaced by the serving-layer
+// batcher (internal/serve): persist-hook visibility of atomically claimed
+// slots, host/device duplicate-key placement, duplicate keys within one
+// batch, batches larger than the table capacity, and the empty-batch
+// launch contract. Each was written to reproduce the pre-fix behavior
+// first; the comments record what used to go wrong.
+
+// countKeySlots scans the bucket array coherently and counts slots
+// holding key.
+func countKeySlots(s *Store, key uint64) int {
+	n := 0
+	for b := 0; b < s.nbuckets; b++ {
+		for slot := 0; slot < SlotsPerBucket; slot++ {
+			if s.buckets.PeekU64(s.keyWord(b, slot)) == key {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestStoreHookSeesAtomicKeyClaims reproduces the bug behind the EP
+// mismatches on megakv-insert: gpusim atomics (AtomicCASU64, AtomicExchU64)
+// serialize at the L2 but never fire the store hook, so persistency models
+// that instrument stores through the hook (EP's redo log, strict's
+// flush-per-store, SBRP's release buffer) missed the key word of every
+// CAS-claimed or tombstoned slot. Replaying such a log restored values
+// into buckets whose keys were still zero. Insert and Delete now issue a
+// hook-visible confirming StoreU64 of the same value after the atomic, so
+// the key word reaches every model's persist path.
+func TestStoreHookSeesAtomicKeyClaims(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 64)
+
+	seen := map[int]bool{} // u32-granule element indices stored to buckets
+	dev.SetStoreHook(func(th *gpusim.Thread, r memsim.Region, elemIdx int, bits uint32) {
+		if r.Base == s.buckets.Base {
+			seen[elemIdx] = true
+		}
+	})
+	defer dev.SetStoreHook(nil)
+
+	const key = 42
+	runOp(dev, func(th *gpusim.Thread) {
+		if !s.Insert(th, key, 99) {
+			t.Error("insert failed")
+		}
+	})
+	b := s.bucketOf(key)
+	slot := -1
+	for i := 0; i < SlotsPerBucket; i++ {
+		if s.buckets.PeekU64(s.keyWord(b, i)) == key {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		t.Fatal("inserted key not found")
+	}
+	kw := s.keyWord(b, slot)
+	if !seen[kw*2] || !seen[kw*2+1] {
+		t.Errorf("store hook never saw the CAS-claimed key word %d (halves %d,%d); persist models would miss it", kw, kw*2, kw*2+1)
+	}
+
+	seen = map[int]bool{}
+	runOp(dev, func(th *gpusim.Thread) {
+		if !s.Delete(th, key) {
+			t.Error("delete failed")
+		}
+	})
+	if !seen[kw*2] || !seen[kw*2+1] {
+		t.Errorf("store hook never saw the tombstoned key word %d; persist models would miss the delete", kw)
+	}
+}
+
+// TestHostInsertOverwritesExistingKey reproduces a duplicate-key bug in
+// HostInsert: the old single pass took the first empty or tombstoned slot
+// even when the key already lived in a later slot of the same bucket, so
+// re-populating after a delete left the key twice in the bucket.
+func TestHostInsertOverwritesExistingKey(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 1) // single bucket: every key collides
+	s.HostInsert(1, 10)   // slot 0
+	s.HostInsert(2, 20)   // slot 1
+	runOp(dev, func(th *gpusim.Thread) {
+		s.Delete(th, 1) // slot 0 becomes a tombstone
+	})
+	s.HostInsert(2, 21) // must overwrite slot 1, not claim slot 0
+	if n := countKeySlots(s, 2); n != 1 {
+		t.Fatalf("key 2 occupies %d slots after re-insert, want 1", n)
+	}
+	if v, ok := s.HostGet(2); !ok || v != 21 {
+		t.Errorf("HostGet(2) = %d/%v, want 21/true", v, ok)
+	}
+}
+
+// TestDeleteThenHostInsertNoResurrection is the end-to-end consequence of
+// the HostInsert duplicate: with key 2 in two slots, a device Delete
+// tombstoned only the first match, and the stale second slot then
+// "resurrected" the old value on the next search.
+func TestDeleteThenHostInsertNoResurrection(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 1)
+	s.HostInsert(1, 10)
+	s.HostInsert(2, 20)
+	runOp(dev, func(th *gpusim.Thread) {
+		s.Delete(th, 1)
+	})
+	s.HostInsert(2, 21)
+	runOp(dev, func(th *gpusim.Thread) {
+		if !s.Delete(th, 2) {
+			t.Error("delete of key 2 failed")
+		}
+		if v, ok := s.Search(th, 2); ok {
+			t.Errorf("deleted key 2 resurrected with value %d", v)
+		}
+	})
+}
+
+// TestBatchDuplicateKeysLastDeterministic pins what a batch containing
+// duplicate keys does: all threads race on the same bucket, the CAS/
+// overwrite protocol must leave exactly one slot for the key, and the
+// outcome must be identical across reruns (the serving batcher keeps
+// duplicates out of one batch precisely so it can predict the result, but
+// the store itself must still stay well-formed if handed one).
+func TestBatchDuplicateKeysLastDeterministic(t *testing.T) {
+	run := func() (uint64, []byte) {
+		dev := newTestDevice()
+		s := NewStore(dev, 4)
+		const key = 7
+		dev.Launch("dup", gpusim.D1(1), gpusim.D1(32), func(b *gpusim.Block) {
+			b.ForAll(func(th *gpusim.Thread) {
+				if !s.Insert(th, key, uint64(1000+th.Linear)) {
+					t.Errorf("thread %d: duplicate-key insert failed", th.Linear)
+				}
+			})
+		})
+		if n := countKeySlots(s, key); n != 1 {
+			t.Fatalf("duplicate-key batch left key in %d slots, want 1", n)
+		}
+		v, ok := s.HostGet(key)
+		if !ok || v < 1000 || v >= 1032 {
+			t.Fatalf("HostGet = %d/%v, want one of the 32 written values", v, ok)
+		}
+		dev.Mem().FlushAll()
+		return v, dev.Mem().PeekNVM(s.buckets.Base, s.buckets.Size)
+	}
+	v1, img1 := run()
+	v2, img2 := run()
+	if v1 != v2 || !bytes.Equal(img1, img2) {
+		t.Errorf("duplicate-key batch nondeterministic: winner %d vs %d", v1, v2)
+	}
+}
+
+// TestBatchLargerThanCapacity pins the overflow contract: a batch of
+// inserts exceeding the table capacity must not panic and must not evict
+// residents — the excess inserts report false and the store stays
+// well-formed at exactly Capacity() live slots.
+func TestBatchLargerThanCapacity(t *testing.T) {
+	dev := newTestDevice()
+	s := NewStore(dev, 1) // capacity = SlotsPerBucket = 8
+	if s.Capacity() != SlotsPerBucket {
+		t.Fatalf("Capacity = %d, want %d", s.Capacity(), SlotsPerBucket)
+	}
+	const batch = 2 * SlotsPerBucket
+	ok := make([]bool, batch)
+	dev.Launch("overflow", gpusim.D1(1), gpusim.D1(batch), func(b *gpusim.Block) {
+		b.ForAll(func(th *gpusim.Thread) {
+			ok[th.Linear] = s.Insert(th, uint64(th.Linear+1), uint64(th.Linear)*10)
+		})
+	})
+	admitted := 0
+	for i, o := range ok {
+		if !o {
+			continue
+		}
+		admitted++
+		runOp(dev, func(th *gpusim.Thread) {
+			if v, found := s.Search(th, uint64(i+1)); !found || v != uint64(i)*10 {
+				t.Errorf("admitted key %d: got %d/%v", i+1, v, found)
+			}
+		})
+	}
+	if admitted != s.Capacity() {
+		t.Errorf("admitted %d inserts into a capacity-%d store", admitted, s.Capacity())
+	}
+}
+
+// TestEmptyLaunchPanics documents why the serving batcher must never emit
+// an empty batch: gpusim refuses zero-sized grids outright, so "launch
+// the kernel over no operations" is a programming error here, not a no-op.
+func TestEmptyLaunchPanics(t *testing.T) {
+	dev := newTestDevice()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-grid launch did not panic")
+		}
+	}()
+	dev.Launch("empty", gpusim.D1(0), gpusim.D1(32), func(b *gpusim.Block) {})
+}
+
+// TestCapacityAccessor pins the Capacity helper the batcher sizes
+// admission against.
+func TestCapacityAccessor(t *testing.T) {
+	dev := newTestDevice()
+	for _, tc := range []struct{ want, buckets int }{{64 * SlotsPerBucket, 64}, {128 * SlotsPerBucket, 100}} {
+		if got := NewStore(dev, tc.buckets).Capacity(); got != tc.want {
+			t.Errorf("Capacity(%d buckets) = %d, want %d", tc.buckets, got, tc.want)
+		}
+	}
+}

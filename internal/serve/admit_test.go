@@ -1,0 +1,108 @@
+package serve
+
+import "testing"
+
+func TestPolicyRegistry(t *testing.T) {
+	names := PolicyNames()
+	if len(names) != 2 || names[0] != "always-admit" || names[1] != "token-bucket" {
+		t.Fatalf("policy registry = %v", names)
+	}
+	for _, spec := range Policies() {
+		if spec.Title == "" {
+			t.Errorf("policy %s has no title", spec.Name)
+		}
+		p := spec.New(DefaultConfig())
+		if p.Name() != spec.Name {
+			t.Errorf("policy %s reports name %s", spec.Name, p.Name())
+		}
+	}
+	if _, ok := LookupPolicy("nope"); ok {
+		t.Error("LookupPolicy found an unregistered policy")
+	}
+}
+
+func TestAlwaysAdmit(t *testing.T) {
+	p := alwaysAdmit{}
+	for i := 0; i < 100; i++ {
+		if !p.Admit(int64(i), Request{}) {
+			t.Fatal("always-admit dropped a request")
+		}
+	}
+}
+
+// TestTokenBucketSustainedRate holds the bucket to its contract: at a
+// steady arrival rate above the refill rate, admissions converge on the
+// refill rate; below it, nothing drops.
+func TestTokenBucketSustainedRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AdmitRatePerMCycle = 100 // one token per 10_000 cycles
+	cfg.AdmitBurst = 5
+	spec, _ := LookupPolicy("token-bucket")
+
+	// Overload: arrivals every 2_000 cycles (5x the sustained rate).
+	p := spec.New(cfg)
+	admitted := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if p.Admit(int64(i)*2_000, Request{}) {
+			admitted++
+		}
+	}
+	// n arrivals span ~1M cycles → ~100 sustained tokens + 5 burst.
+	want := int(float64(n)*2_000/10_000) + cfg.AdmitBurst
+	if admitted < want-2 || admitted > want+2 {
+		t.Errorf("overload admitted %d of %d, want ≈%d", admitted, n, want)
+	}
+
+	// Underload: arrivals every 20_000 cycles (half the sustained rate).
+	p = spec.New(cfg)
+	for i := 0; i < 200; i++ {
+		if !p.Admit(int64(i)*20_000, Request{}) {
+			t.Fatalf("underloaded token bucket dropped arrival %d", i)
+		}
+	}
+}
+
+// TestTokenBucketBurst pins burst credit: a cold bucket admits exactly
+// AdmitBurst back-to-back arrivals before shedding.
+func TestTokenBucketBurst(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AdmitRatePerMCycle = 1 // negligible refill at one instant
+	cfg.AdmitBurst = 7
+	spec, _ := LookupPolicy("token-bucket")
+	p := spec.New(cfg)
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if p.Admit(100, Request{}) { // all at the same cycle
+			admitted++
+		}
+	}
+	if admitted != cfg.AdmitBurst {
+		t.Errorf("cold bucket admitted %d, want burst %d", admitted, cfg.AdmitBurst)
+	}
+}
+
+// TestTokenBucketDeterministic: same arrival schedule, same decisions.
+func TestTokenBucketDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AdmitRatePerMCycle = 73
+	cfg.AdmitBurst = 3
+	spec, _ := LookupPolicy("token-bucket")
+	run := func() []bool {
+		p := spec.New(cfg)
+		var out []bool
+		tm := int64(0)
+		r := rng{s: 9}
+		for i := 0; i < 300; i++ {
+			tm += int64(r.intn(9_000)) + 1
+			out = append(out, p.Admit(tm, Request{}))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+}

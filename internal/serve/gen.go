@@ -1,0 +1,172 @@
+package serve
+
+import "math"
+
+// gen.go is the seeded load generator. Every draw comes from a per-client
+// splitmix64 stream derived from Config.Seed, so the merged arrival
+// sequence is a pure function of the config: same seed, same requests,
+// same cycle stamps — the property the determinism pins and the
+// statistical property tests both lean on. No math/rand, no wall clock.
+
+// rng is a splitmix64 generator (the repo's standard seeded stream; see
+// internal/kernels' prng and faultsim's splitmix).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in (0, 1].
+func (r *rng) float64() float64 {
+	return (float64(r.next()>>11) + 1) / (1 << 53)
+}
+
+// exp returns an exponential draw with the given mean (inverse-CDF on a
+// (0,1] uniform, so the log argument never hits zero).
+func (r *rng) exp(mean float64) float64 {
+	return -mean * math.Log(r.float64())
+}
+
+// intn returns a uniform draw in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// clientState is one client's generation stream.
+type clientState struct {
+	spec     ClientSpec
+	idx      int
+	r        rng
+	keySpace uint64
+	// next is the client's next arrival cycle; negative means none
+	// scheduled (closed-loop waiting for a completion, or done).
+	next int64
+}
+
+// gap draws one inter-arrival gap in cycles (at least 1).
+func (c *clientState) gap() int64 {
+	var g float64
+	switch {
+	case c.spec.Closed:
+		g = c.r.exp(c.spec.ThinkCycles)
+	case c.spec.Process == "gamma":
+		// Erlang: the sum of Shape exponential stages whose means add up
+		// to the configured mean gap — same rate, lower variance.
+		shape := c.spec.Shape
+		if shape <= 0 {
+			shape = 2
+		}
+		mean := 1e6 / c.spec.RatePerMCycle
+		for i := 0; i < shape; i++ {
+			g += c.r.exp(mean / float64(shape))
+		}
+	default: // poisson
+		g = c.r.exp(1e6 / c.spec.RatePerMCycle)
+	}
+	if g < 1 {
+		return 1
+	}
+	return int64(g)
+}
+
+// draw fills in the request's operation, key and value from the client's
+// stream.
+func (c *clientState) draw(req *Request) {
+	total := c.spec.SearchW + c.spec.InsertW + c.spec.DeleteW
+	w := c.r.intn(total)
+	switch {
+	case w < c.spec.SearchW:
+		req.Op = OpSearch
+	case w < c.spec.SearchW+c.spec.InsertW:
+		req.Op = OpInsert
+	default:
+		req.Op = OpDelete
+	}
+	req.Key = 1 + c.r.next()%c.keySpace
+	if req.Op == OpInsert {
+		if req.Val = c.r.next(); req.Val == 0 {
+			req.Val = 1
+		}
+	}
+}
+
+// Generator merges every client's stream into one deterministic arrival
+// sequence ordered by (cycle, client index).
+type Generator struct {
+	clients []*clientState
+	horizon int64
+	nextID  int
+}
+
+// NewGenerator builds the generator for cfg (which must validate).
+func NewGenerator(cfg Config) *Generator {
+	g := &Generator{horizon: cfg.HorizonCycles}
+	for i, spec := range cfg.Clients {
+		c := &clientState{spec: spec, idx: i, keySpace: cfg.KeySpace}
+		// Decorrelate client streams: each gets its own splitmix state
+		// derived from the run seed and the client's index.
+		c.r.s = (cfg.Seed + 0x9e3779b97f4a7c15) * (uint64(i)*2 + 1)
+		c.next = c.gap() // closed-loop clients think before their first request
+		if c.next > g.horizon {
+			c.next = -1
+		}
+		g.clients = append(g.clients, c)
+	}
+	return g
+}
+
+// Next returns the earliest pending arrival, or ok=false when no client
+// has one scheduled (closed-loop clients may schedule more after
+// Complete).
+func (g *Generator) Next() (Request, bool) {
+	best := -1
+	for i, c := range g.clients {
+		if c.next < 0 {
+			continue
+		}
+		if best < 0 || c.next < g.clients[best].next {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Request{}, false
+	}
+	c := g.clients[best]
+	req := Request{ID: g.nextID, Client: c.idx, Class: c.spec.Class, Arrival: c.next}
+	c.draw(&req)
+	g.nextID++
+	if c.spec.Closed {
+		c.next = -1 // wait for Complete
+	} else if c.next += c.gap(); c.next > g.horizon {
+		c.next = -1
+	}
+	return req, true
+}
+
+// Complete tells a closed-loop client its outstanding request finished
+// at cycle done, scheduling its next arrival after a think gap. Open-loop
+// clients ignore it.
+func (g *Generator) Complete(client int, done int64) {
+	c := g.clients[client]
+	if !c.spec.Closed {
+		return
+	}
+	if next := done + c.gap(); next <= g.horizon {
+		c.next = next
+	}
+}
+
+// Live reports whether any client can still produce an arrival now or
+// after a future completion.
+func (g *Generator) Live() bool {
+	for _, c := range g.clients {
+		if c.next >= 0 {
+			return true
+		}
+	}
+	return false
+}

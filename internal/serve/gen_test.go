@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// Property tests for the arrival generator (satellite: same seed ⇒ same
+// sequence; Poisson mean ≈ 1/λ across seeds; Gamma shape/rate sanity).
+// Everything here runs on the virtual clock — no wall-time reads.
+
+func openLoopConfig(seed uint64, process string, shape int, rate float64, horizon int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.HorizonCycles = horizon
+	cfg.Clients = []ClientSpec{{
+		Name: "c0", Class: 0, Process: process, Shape: shape,
+		RatePerMCycle: rate, SearchW: 1, InsertW: 1, DeleteW: 1,
+	}}
+	return cfg
+}
+
+func drain(g *Generator) []Request {
+	var out []Request
+	for {
+		r, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func TestGeneratorSameSeedSameSequence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HorizonCycles = 500_000
+	a := drain(NewGenerator(cfg))
+	b := drain(NewGenerator(cfg))
+	if len(a) == 0 {
+		t.Fatal("generator produced no arrivals")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorSeedChangesSequence(t *testing.T) {
+	cfg := openLoopConfig(1, "poisson", 0, 50, 500_000)
+	a := drain(NewGenerator(cfg))
+	cfg.Seed = 2
+	b := drain(NewGenerator(cfg))
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("generator produced no arrivals")
+	}
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i].Arrival != b[i].Arrival {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical arrival sequences")
+	}
+}
+
+func TestGeneratorArrivalsOrderedAndInHorizon(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HorizonCycles = 300_000
+	// Exercise the merge: several open-loop clients.
+	cfg.Clients = []ClientSpec{
+		{Name: "a", Class: 0, Process: "poisson", RatePerMCycle: 40, SearchW: 1},
+		{Name: "b", Class: 1, Process: "gamma", Shape: 4, RatePerMCycle: 40, InsertW: 1},
+		{Name: "c", Class: 0, Process: "poisson", RatePerMCycle: 40, DeleteW: 1},
+	}
+	reqs := drain(NewGenerator(cfg))
+	if len(reqs) < 10 {
+		t.Fatalf("only %d arrivals", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("arrival %d has ID %d", i, r.ID)
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatalf("arrivals out of order at %d: %d after %d", i, r.Arrival, reqs[i-1].Arrival)
+		}
+		if r.Arrival <= 0 || r.Arrival > cfg.HorizonCycles {
+			t.Fatalf("arrival %d at cycle %d outside (0, %d]", i, r.Arrival, cfg.HorizonCycles)
+		}
+		if r.Key == 0 || r.Key > cfg.KeySpace {
+			t.Fatalf("arrival %d key %#x outside [1, %d]", i, r.Key, cfg.KeySpace)
+		}
+		if r.Op == OpInsert && r.Val == 0 {
+			t.Fatalf("arrival %d inserts value 0", i)
+		}
+	}
+}
+
+// TestPoissonInterArrivalMean checks the sample mean of the exponential
+// gaps against 1/λ across a seed sweep: each seed's sample mean (n≈2000)
+// must land within 10% of the configured mean, and the sweep-wide mean
+// within 2%.
+func TestPoissonInterArrivalMean(t *testing.T) {
+	const rate = 100.0 // per Mcycle → mean gap 10_000 cycles
+	const wantMean = 1e6 / rate
+	var sweepSum float64
+	var sweepN int
+	for seed := uint64(1); seed <= 8; seed++ {
+		cfg := openLoopConfig(seed, "poisson", 0, rate, 20_000_000)
+		reqs := drain(NewGenerator(cfg))
+		if len(reqs) < 1000 {
+			t.Fatalf("seed %d: only %d arrivals", seed, len(reqs))
+		}
+		var sum float64
+		prev := int64(0)
+		for _, r := range reqs {
+			sum += float64(r.Arrival - prev)
+			prev = r.Arrival
+		}
+		mean := sum / float64(len(reqs))
+		if math.Abs(mean-wantMean)/wantMean > 0.10 {
+			t.Errorf("seed %d: sample mean gap %.0f, want %.0f ± 10%%", seed, mean, wantMean)
+		}
+		sweepSum += sum
+		sweepN += len(reqs)
+	}
+	sweepMean := sweepSum / float64(sweepN)
+	if math.Abs(sweepMean-wantMean)/wantMean > 0.02 {
+		t.Errorf("sweep mean gap %.0f, want %.0f ± 2%%", sweepMean, wantMean)
+	}
+}
+
+// TestGammaShapeRateSanity checks the Erlang process: same configured
+// rate as Poisson (so the same sample mean), but Shape stages cut the
+// gap variance by ~Shape — the coefficient of variation must be near
+// 1/sqrt(Shape), and clearly below the Poisson CV of 1.
+func TestGammaShapeRateSanity(t *testing.T) {
+	const rate = 100.0
+	const wantMean = 1e6 / rate
+	const shape = 4
+	var gaps []float64
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := openLoopConfig(seed, "gamma", shape, rate, 20_000_000)
+		reqs := drain(NewGenerator(cfg))
+		prev := int64(0)
+		for _, r := range reqs {
+			gaps = append(gaps, float64(r.Arrival-prev))
+			prev = r.Arrival
+		}
+	}
+	if len(gaps) < 4000 {
+		t.Fatalf("only %d gaps", len(gaps))
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if math.Abs(mean-wantMean)/wantMean > 0.05 {
+		t.Errorf("gamma sample mean gap %.0f, want %.0f ± 5%%", mean, wantMean)
+	}
+	var varSum float64
+	for _, g := range gaps {
+		varSum += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(varSum/float64(len(gaps))) / mean
+	want := 1 / math.Sqrt(shape)
+	if math.Abs(cv-want) > 0.1 {
+		t.Errorf("gamma CV %.3f, want %.3f ± 0.1 (shape %d)", cv, want, shape)
+	}
+	if cv > 0.8 {
+		t.Errorf("gamma CV %.3f not clearly below Poisson's 1.0", cv)
+	}
+}
+
+// TestClosedLoopOneOutstanding drives the closed-loop protocol by hand:
+// a closed client never has a second arrival scheduled before Complete,
+// and think gaps separate completion from the next arrival.
+func TestClosedLoopOneOutstanding(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HorizonCycles = 1_000_000
+	cfg.Clients = []ClientSpec{{
+		Name: "closed", Class: 0, Closed: true, ThinkCycles: 10_000,
+		SearchW: 1, InsertW: 1, DeleteW: 1,
+	}}
+	g := NewGenerator(cfg)
+	var count int
+	var last int64
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		count++
+		if r.Arrival <= last {
+			t.Fatalf("closed-loop arrival %d at %d not after completion %d", count, r.Arrival, last)
+		}
+		if _, again := g.Next(); again {
+			t.Fatal("closed-loop client had two outstanding requests")
+		}
+		last = r.Arrival + 500 // simulated service time
+		g.Complete(0, last)
+	}
+	if count < 20 {
+		t.Fatalf("closed loop produced only %d requests", count)
+	}
+	if g.Live() {
+		t.Error("generator still live after horizon")
+	}
+}

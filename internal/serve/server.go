@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"gpulp/internal/gpusim"
+	"gpulp/internal/memsim"
+	"gpulp/internal/pmodel"
+)
+
+// server.go is the deterministic virtual-time serving loop. One pass
+// interleaves three event sources — arrivals (generator + admission),
+// launch deadlines (batcher), and completions (kernel launch + recovery
+// + epoch drain) — on a single cycle clock. The device serves one batch
+// at a time; requests admitted while it is busy queue for the next
+// launch, which is where batching-under-load comes from.
+//
+// Epoch discipline: every batch boundary is a persistency epoch. After a
+// launch, the cache's dirty lines are drained to NVM (charged at NVM
+// bandwidth), making the previous epoch's effects durable; before the
+// next launch, epoch-salted models advance their epoch and metadata-
+// truncating models (redo logs, release flags) are host-reset. A crash
+// therefore only ever has one in-flight batch to repair, and the model's
+// recovery restores the durable image bit-exactly.
+
+// bareModel reports whether name means "no persistency model".
+func bareModel(name string) bool { return name == "" || name == "none" }
+
+// modelKnown reports whether name is bare or registered.
+func modelKnown(name string) bool {
+	if bareModel(name) {
+		return true
+	}
+	_, ok := pmodel.Lookup(name)
+	return ok
+}
+
+// launcher binds the workload to the selected persistency model (or to
+// nothing, for the non-persistent baseline).
+type launcher struct {
+	kernel  gpusim.KernelFunc
+	model   pmodel.Model
+	epocher pmodel.Epocher
+	meta    []memsim.Region
+}
+
+func newLauncher(w *batchWorkload, cfg Config) *launcher {
+	if bareModel(cfg.Model) {
+		return &launcher{kernel: w.Kernel(nil)}
+	}
+	spec := pmodel.MustLookup(cfg.Model)
+	_, blk := w.Geometry()
+	m := spec.New(w.dev, w, pmodel.Options{
+		LP: cfg.LP,
+		// The serving kernel issues up to three 64-bit persistent stores
+		// per thread (key confirm, value, result) — six hook records —
+		// so EP's log needs twice its four-per-thread default.
+		EPEntries: blk.Size() * 8,
+		// No checkpoint tier: a bind-time checkpoint goes stale after the
+		// first batch, and restoring it mid-run would erase every earlier
+		// epoch. Selective re-execution and full-grid re-execution are
+		// the only sound tiers under the per-batch epoch discipline.
+		Checkpoint: false,
+	})
+	l := &launcher{kernel: m.Kernel(), model: m, meta: m.MetadataRegions()}
+	l.epocher, _ = m.(pmodel.Epocher)
+	return l
+}
+
+// beginEpoch prepares the model for batch n (1-based). Epoch-salted
+// models advance their salt; the rest truncate their durable metadata —
+// sound exactly because the previous epoch's data was drained first.
+func (l *launcher) beginEpoch(n int) {
+	if l.model == nil {
+		return
+	}
+	if l.epocher != nil {
+		l.epocher.SetEpoch(uint64(n))
+		return
+	}
+	for _, r := range l.meta {
+		r.HostZero()
+	}
+}
+
+// classStats accumulates one SLO class's counters.
+type classStats struct {
+	offered   int
+	admitted  int
+	dropped   int
+	completed int
+	onTime    int
+	overflows int
+	latencies []int64
+}
+
+// Ledger is the host-side admission ledger: the durable key-value state
+// implied by every admitted request's acknowledged outcome, maintained
+// in first-touch order (no map iteration anywhere near a report).
+type Ledger struct {
+	order   []uint64
+	touched map[uint64]bool
+	expect  map[uint64]uint64
+	present map[uint64]bool
+}
+
+func newLedger() *Ledger {
+	return &Ledger{
+		touched: map[uint64]bool{},
+		expect:  map[uint64]uint64{},
+		present: map[uint64]bool{},
+	}
+}
+
+func (l *Ledger) touch(key uint64) {
+	if !l.touched[key] {
+		l.touched[key] = true
+		l.order = append(l.order, key)
+	}
+}
+
+// Keys returns every key any request (admitted or dropped) named, in
+// first-touch order.
+func (l *Ledger) Keys() []uint64 { return append([]uint64(nil), l.order...) }
+
+// apply folds one completed request's acknowledged outcome into the
+// expected state, checking the result word against what the ledger
+// already knows. A contradiction is an ErrLedger.
+func (l *Ledger) apply(req Request, res uint64) error {
+	l.touch(req.Key)
+	switch req.Op {
+	case OpSearch:
+		want := uint64(0)
+		if l.present[req.Key] {
+			want = l.expect[req.Key]
+		}
+		if res != want {
+			return fmt.Errorf("%w: search(key %#x) answered %#x, ledger expects %#x", ErrLedger, req.Key, res, want)
+		}
+	case OpInsert:
+		switch res {
+		case ResultInsertOK:
+			l.expect[req.Key] = req.Val
+			l.present[req.Key] = true
+		case ResultOverflow:
+			if l.present[req.Key] {
+				return fmt.Errorf("%w: insert(key %#x) overflowed but the key is resident (overwrite cannot overflow)", ErrLedger, req.Key)
+			}
+		default:
+			return fmt.Errorf("%w: insert(key %#x) answered unknown result %#x", ErrLedger, req.Key, res)
+		}
+	case OpDelete:
+		if res != ResultDeleteAck {
+			return fmt.Errorf("%w: delete(key %#x) answered %#x, want ack", ErrLedger, req.Key, res)
+		}
+		l.present[req.Key] = false
+	default:
+		return fmt.Errorf("%w: completed request has op %v", ErrLedger, req.Op)
+	}
+	return nil
+}
+
+// drop records a shed request's key so verification can also assert that
+// dropped work left no trace.
+func (l *Ledger) drop(req Request) { l.touch(req.Key) }
+
+// Verify checks the durable store against the expected state, key by
+// key, in first-touch order.
+func (l *Ledger) Verify(store interface {
+	NVMGet(key uint64) (uint64, bool)
+}) error {
+	for _, k := range l.order {
+		got, ok := store.NVMGet(k)
+		if l.present[k] {
+			if !ok || got != l.expect[k] {
+				return fmt.Errorf("%w: key %#x durable as %#x/%v, ledger expects %#x/true", ErrLedger, k, got, ok, l.expect[k])
+			}
+		} else if ok {
+			return fmt.Errorf("%w: key %#x durable as %#x, ledger expects absent", ErrLedger, k, got)
+		}
+	}
+	return nil
+}
+
+// RunResult is a finished serving run: the report plus the handles the
+// crash campaign and the determinism pins verify against.
+type RunResult struct {
+	Report *Report
+	mem    *memsim.Memory
+	w      *batchWorkload
+	ledger *Ledger
+
+	observed [][]byte
+}
+
+// Outputs snapshots the durable bytes of every persistent output region
+// (results, then the store) — the bit-exactness witness.
+func (r *RunResult) Outputs() [][]byte {
+	var out [][]byte
+	for _, reg := range r.w.Outputs() {
+		out = append(out, r.mem.PeekNVM(reg.Base, reg.Size))
+	}
+	return out
+}
+
+// Observed returns the durable output snapshot taken at
+// Config.ObserveAtLaunch (nil when unset or never reached).
+func (r *RunResult) Observed() [][]byte { return r.observed }
+
+// VerifyLedger checks the durable store against the admission ledger.
+func (r *RunResult) VerifyLedger() error { return r.ledger.Verify(r.w.Store()) }
+
+// Ledger exposes the admission ledger.
+func (r *RunResult) Ledger() *Ledger { return r.ledger }
+
+// Run executes one serving run to completion.
+func Run(cfg Config) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem := memsim.MustNew(cfg.Mem)
+	dev := gpusim.MustNew(cfg.Dev, mem)
+	w := newBatchWorkload(dev, cfg.StoreBuckets, cfg.MaxBatch)
+	l := newLauncher(w, cfg)
+	gen := NewGenerator(cfg)
+	pol, _ := LookupPolicy(cfg.Policy)
+	policy := pol.New(cfg)
+	bat := NewBatcher(cfg.MaxBatch)
+	ledger := newLedger()
+	grid, blk := w.Geometry()
+
+	stats := make([]classStats, len(cfg.Classes))
+	rep := &Report{
+		Model:  cfg.Model,
+		Policy: cfg.Policy,
+		Seed:   cfg.Seed,
+	}
+	if bareModel(cfg.Model) {
+		rep.Model = "none"
+	}
+
+	lineBytes := int64(mem.Config().LineSize)
+	nvmBW := dev.Config().NVMBytesPerCycle
+	snapshot := func() [][]byte {
+		var out [][]byte
+		for _, reg := range w.Outputs() {
+			out = append(out, mem.PeekNVM(reg.Base, reg.Size))
+		}
+		return out
+	}
+	var observed [][]byte
+
+	var now, devFree int64
+	arr, arrOK := gen.Next()
+	for {
+		// When would the current queue launch?
+		tLaunch := int64(math.MaxInt64)
+		if bat.Len() >= cfg.MaxBatch {
+			tLaunch = maxI64(now, devFree)
+		} else if bat.Len() > 0 {
+			tLaunch = maxI64(bat.OldestAdmit()+cfg.MaxWaitCycles, devFree)
+			if !arrOK {
+				// No arrival can precede the deadline: drain immediately.
+				tLaunch = maxI64(now, devFree)
+			}
+		}
+
+		// Arrivals strictly before the launch instant are processed
+		// first (ties launch: the batch the request raced is full or
+		// due, so the request waits for the next one).
+		if arrOK && (tLaunch == int64(math.MaxInt64) || arr.Arrival < tLaunch) {
+			now = maxI64(now, arr.Arrival)
+			st := &stats[arr.Class]
+			st.offered++
+			if policy.Admit(arr.Arrival, arr) {
+				st.admitted++
+				bat.Add(arr, arr.Arrival)
+			} else {
+				st.dropped++
+				ledger.drop(arr)
+				if cfg.Clients[arr.Client].Closed {
+					// A shed closed-loop request completes instantly
+					// from the client's point of view.
+					gen.Complete(arr.Client, arr.Arrival)
+				}
+			}
+			arr, arrOK = gen.Next()
+			continue
+		}
+		if tLaunch == int64(math.MaxInt64) {
+			break // no queue, no scheduled arrivals, nothing in flight
+		}
+
+		// Launch one batch.
+		now = tLaunch
+		batch := bat.Take()
+		rep.Launches++
+		w.SetBatch(batch)
+		l.beginEpoch(rep.Launches)
+		if cfg.CrashAtLaunch == rep.Launches {
+			after := cfg.CrashAfterBlocks
+			if after <= 0 {
+				after = 1
+			}
+			dev.SetCrashTrigger(&gpusim.CrashTrigger{
+				AfterBlocks: after,
+				Fire:        func(*gpusim.Device) { mem.Crash() },
+			})
+		}
+		res := dev.Launch(fmt.Sprintf("megakv-serve#%d", rep.Launches), grid, blk, l.kernel)
+		busy := cfg.LaunchOverheadCycles + res.Cycles
+		rep.BusyCycles += res.Cycles
+		if res.Interrupted {
+			if l.model == nil {
+				return nil, fmt.Errorf("%w: crash injected without a persistency model", ErrConfig)
+			}
+			rrep, rerr := l.model.Recover()
+			if rerr != nil {
+				return nil, fmt.Errorf("serve: recovery after launch %d: %w", rep.Launches, rerr)
+			}
+			rep.Recoveries++
+			rep.RecoveryCycles += rrep.Cycles
+			busy += rrep.Cycles
+		}
+		// Epoch drain: push every dirty line to NVM so this batch is
+		// durable before its requests are acknowledged.
+		lines := int64(mem.FlushAll())
+		drain := int64(math.Ceil(float64(lines*lineBytes) / nvmBW))
+		rep.DrainCycles += drain
+		busy += drain
+		if cfg.ObserveAtLaunch == rep.Launches {
+			observed = snapshot()
+		}
+
+		done := now + busy
+		devFree = done
+		if done > rep.EndCycle {
+			rep.EndCycle = done
+		}
+		for i, p := range batch {
+			if err := ledger.apply(p.req, w.Result(i)); err != nil {
+				return nil, fmt.Errorf("serve: launch %d slot %d (%v key %#x): %w",
+					rep.Launches, i, p.req.Op, p.req.Key, err)
+			}
+			st := &stats[p.req.Class]
+			st.completed++
+			if w.Result(i) == ResultOverflow && p.req.Op == OpInsert {
+				st.overflows++
+			}
+			lat := done - p.req.Arrival
+			st.latencies = append(st.latencies, lat)
+			if lat <= cfg.Classes[p.req.Class].BudgetCycles {
+				st.onTime++
+			}
+			gen.Complete(p.req.Client, done)
+		}
+		if !arrOK {
+			// Completions may have scheduled new closed-loop arrivals.
+			arr, arrOK = gen.Next()
+		}
+	}
+	if rep.EndCycle < now {
+		rep.EndCycle = now
+	}
+
+	rep.fillClasses(cfg, stats)
+	return &RunResult{Report: rep, mem: mem, w: w, ledger: ledger, observed: observed}, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"gpulp/internal/core"
+	"gpulp/internal/gpusim"
+	"gpulp/internal/megakv"
+	"gpulp/internal/memsim"
+)
+
+// workload.go adapts MEGA-KV batches to the pmodel.Workload contract
+// with *mutable batch contents*: the persistency model binds once (its
+// metadata is allocated once), and the serving loop re-fills the input
+// regions before every launch. The fixed geometry — MaxBatch threads,
+// one per batch slot, padded with nops — is what lets one model instance
+// span the whole serving run.
+
+// Device-visible result words. Every thread writes its result slot every
+// batch, so the results region is fully re-covered each epoch and the
+// recovery recompute can re-fold any slot from durable state alone.
+const (
+	// ResultInsertOK / ResultDeleteAck acknowledge a mutation.
+	ResultInsertOK  = uint64(1)
+	ResultDeleteAck = uint64(1)
+	// ResultOverflow reports an insert that found its bucket full; the
+	// request is answered (shed at the store), not lost.
+	ResultOverflow = uint64(0xFF00_0F1C)
+)
+
+// servePoison is folded by the recompute when durable state contradicts
+// a slot's recorded outcome (cf. kernels' deleteMissMarker).
+const servePoison = 0xBAD5_EEDE
+
+// batchWorkload implements pmodel.Workload over the current batch.
+type batchWorkload struct {
+	dev      *gpusim.Device
+	store    *megakv.Store
+	maxBatch int
+
+	// ops/keys/vals are host-written (durably) before each launch;
+	// results and the store are the device-written persistent outputs.
+	ops     memsim.Region
+	keys    memsim.Region
+	vals    memsim.Region
+	results memsim.Region
+
+	opsBuf, keysBuf, valsBuf []uint64
+}
+
+func newBatchWorkload(dev *gpusim.Device, storeBuckets, maxBatch int) *batchWorkload {
+	w := &batchWorkload{
+		dev:      dev,
+		store:    megakv.NewStore(dev, storeBuckets),
+		maxBatch: maxBatch,
+		ops:      dev.Alloc("serve.ops", maxBatch*8),
+		keys:     dev.Alloc("serve.keys", maxBatch*8),
+		vals:     dev.Alloc("serve.vals", maxBatch*8),
+		results:  dev.Alloc("serve.results", maxBatch*8),
+		opsBuf:   make([]uint64, maxBatch),
+		keysBuf:  make([]uint64, maxBatch),
+		valsBuf:  make([]uint64, maxBatch),
+	}
+	w.ops.HostZero()
+	w.keys.HostZero()
+	w.vals.HostZero()
+	w.results.HostZero()
+	return w
+}
+
+func (w *batchWorkload) Name() string { return "megakv-serve" }
+
+func (w *batchWorkload) Geometry() (gpusim.Dim3, gpusim.Dim3) {
+	return gpusim.D1(w.maxBatch / BlockThreads), gpusim.D1(BlockThreads)
+}
+
+// SetBatch stages the batch inputs with direct durable writes (HostWrite
+// bypasses the volatile cache), so a crash during the launch can never
+// lose the inputs recovery re-executes from.
+func (w *batchWorkload) SetBatch(batch []pendingReq) {
+	for i := range w.opsBuf {
+		w.opsBuf[i], w.keysBuf[i], w.valsBuf[i] = 0, 0, 0
+	}
+	for i, p := range batch {
+		w.opsBuf[i] = uint64(p.req.Op)
+		w.keysBuf[i] = p.req.Key
+		w.valsBuf[i] = p.req.Val
+	}
+	w.ops.HostWriteU64s(w.opsBuf)
+	w.keys.HostWriteU64s(w.keysBuf)
+	w.vals.HostWriteU64s(w.valsBuf)
+}
+
+// Store exposes the underlying index (ledger verification).
+func (w *batchWorkload) Store() *megakv.Store { return w.store }
+
+// Result reads batch slot i's coherent result word.
+func (w *batchWorkload) Result(i int) uint64 { return w.results.PeekU64(i) }
+
+func (w *batchWorkload) Kernel(lp *core.LP) gpusim.KernelFunc {
+	return func(b *gpusim.Block) {
+		r := lp.Begin(b)
+		b.ForAll(func(t *gpusim.Thread) {
+			i := t.GlobalLinear()
+			op := Op(t.LoadU64(w.ops, i))
+			key := t.LoadU64(w.keys, i)
+			switch op {
+			case OpSearch:
+				val, _ := w.store.Search(t, key)
+				t.StoreU64(w.results, i, val)
+				r.Update(t, uint32(val)^uint32(val>>32))
+			case OpInsert:
+				val := t.LoadU64(w.vals, i)
+				res := ResultInsertOK
+				if !w.store.Insert(t, key, val) {
+					res = ResultOverflow
+				}
+				t.StoreU64(w.results, i, res)
+				r.Update(t, uint32(key)^uint32(val)^uint32(res))
+			case OpDelete:
+				w.store.Delete(t, key)
+				t.StoreU64(w.results, i, ResultDeleteAck)
+				r.Update(t, uint32(key)^uint32(ResultDeleteAck))
+			default: // OpNop pad
+				t.StoreU64(w.results, i, 0)
+				r.Update(t, 0)
+			}
+		})
+		r.Commit()
+	}
+}
+
+// Recompute re-folds a slot's checksum contribution from durable state
+// alone: the recorded result word plus the store's current answer. Any
+// contradiction — an acknowledged insert whose key is missing, a deleted
+// key still present, a result word that can't have been written — folds
+// servePoison, forcing a mismatch and selective re-execution.
+func (w *batchWorkload) Recompute() core.RecomputeFunc {
+	return func(b *gpusim.Block, r *core.Region) {
+		b.ForAll(func(t *gpusim.Thread) {
+			i := t.GlobalLinear()
+			op := Op(t.LoadU64(w.ops, i))
+			key := t.LoadU64(w.keys, i)
+			res := t.LoadU64(w.results, i)
+			switch op {
+			case OpSearch:
+				r.Update(t, uint32(res)^uint32(res>>32))
+			case OpInsert:
+				switch res {
+				case ResultInsertOK:
+					val, ok := w.store.Search(t, key)
+					if !ok {
+						r.Update(t, servePoison) // acknowledged insert lost
+						return
+					}
+					r.Update(t, uint32(key)^uint32(val)^uint32(res))
+				case ResultOverflow:
+					if _, ok := w.store.Search(t, key); ok {
+						r.Update(t, servePoison) // overflow implies absence
+						return
+					}
+					val := t.LoadU64(w.vals, i)
+					r.Update(t, uint32(key)^uint32(val)^uint32(res))
+				default:
+					r.Update(t, servePoison) // result word lost
+				}
+			case OpDelete:
+				if res != ResultDeleteAck {
+					r.Update(t, servePoison)
+					return
+				}
+				if _, ok := w.store.Search(t, key); ok {
+					r.Update(t, servePoison) // tombstone lost
+					return
+				}
+				r.Update(t, uint32(key)^uint32(ResultDeleteAck))
+			default:
+				r.Update(t, uint32(res))
+			}
+		})
+	}
+}
+
+// Outputs lists the persistent regions a model protects: the per-slot
+// results and the index itself.
+func (w *batchWorkload) Outputs() []memsim.Region {
+	return []memsim.Region{w.results, w.store.Region()}
+}

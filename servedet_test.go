@@ -1,0 +1,90 @@
+package gpulp_test
+
+// Determinism pin for the MEGA-KV serving layer: a full serving run —
+// seeded load generation, admission, batching, kernel launches, epoch
+// drains, latency accounting — must produce a byte-identical report and
+// byte-identical durable output images between the serial engine
+// (Workers=1) and the parallel engine (Workers=detWorkers), for every
+// registered persistency model and the bare baseline, and a host-
+// parallel sweep of seeds must match a serial sweep run for run. This is
+// the contract that lets the serve harness experiment and the lpfault
+// serve campaign fan out without perturbing a single number.
+
+import (
+	"bytes"
+	"testing"
+
+	"gpulp/internal/pmodel"
+	"gpulp/internal/serve"
+)
+
+func runServing(t *testing.T, model string, seed uint64, workers int) *serve.RunResult {
+	t.Helper()
+	cfg := serve.DefaultConfig()
+	cfg.HorizonCycles = 400_000
+	cfg.Model = model
+	cfg.Seed = seed
+	cfg.Dev.Workers = workers
+	r, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatalf("serve %s seed=%d workers=%d: %v", model, seed, workers, err)
+	}
+	if err := r.VerifyLedger(); err != nil {
+		t.Fatalf("serve %s seed=%d workers=%d: %v", model, seed, workers, err)
+	}
+	return r
+}
+
+// TestServeDeterminism runs the serving loop under every registered
+// persistency model plus the bare baseline with both engines and asserts
+// byte-identical rendered reports and durable output images.
+func TestServeDeterminism(t *testing.T) {
+	models := append([]string{"none"}, pmodel.Names()...)
+	for _, model := range models {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			serial := runServing(t, model, 1, 1)
+			parallel := runServing(t, model, 1, detWorkers)
+			if serial.Report.String() != parallel.Report.String() {
+				t.Errorf("report diverged\nserial:\n%s\nparallel:\n%s",
+					serial.Report.String(), parallel.Report.String())
+			}
+			so, po := serial.Outputs(), parallel.Outputs()
+			if len(so) == 0 || len(so) != len(po) {
+				t.Fatalf("output image count diverged: %d vs %d", len(so), len(po))
+			}
+			for i := range so {
+				if !bytes.Equal(so[i], po[i]) {
+					t.Errorf("durable output %d diverged between engines", i)
+				}
+			}
+		})
+	}
+}
+
+// TestServeDeterminismHostParallel sweeps seeds with a host-parallel
+// goroutine fan-out and demands every run match its serial twin — the
+// serving loop must not share state across concurrent runs.
+func TestServeDeterminismHostParallel(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	serial := make([]string, len(seeds))
+	for i, s := range seeds {
+		serial[i] = runServing(t, "lp", s, 1).Report.String()
+	}
+	parallel := make([]string, len(seeds))
+	done := make(chan int, len(seeds))
+	for i, s := range seeds {
+		go func(i int, s uint64) {
+			parallel[i] = runServing(t, "lp", s, detWorkers).Report.String()
+			done <- i
+		}(i, s)
+	}
+	for range seeds {
+		<-done
+	}
+	for i := range seeds {
+		if serial[i] != parallel[i] {
+			t.Errorf("seed %d: host-parallel sweep diverged from serial run", seeds[i])
+		}
+	}
+}
