@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lpvet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak model-smoke model-soak serve-smoke serve-soak bench ci
+.PHONY: all vet lpvet build test tier1 race race-parallel matrix smoke campaign scrub-smoke scrub-campaign cluster-smoke cluster-soak persistcheck-smoke persistcheck-soak model-smoke model-soak serve-smoke serve-soak replica-smoke replica-soak bench ci
 
 all: ci
 
@@ -121,10 +121,30 @@ serve-soak:
 	$(GO) run ./cmd/lpfault -serve -seeds 8 -parallel 4
 	$(GO) run ./cmd/lpbench -exp serve -parallel 4
 
+# replica-smoke: replicated durable placement under race (placer and
+# adoption unit contracts, the cluster-backed serving layer), the root
+# determinism pin (replicated run + campaign, Workers 1 vs 8), and a
+# quick R in {1,2} failover sweep — every R>=2 case must recover via
+# replica adoption with zero re-executed blocks and a bit-exact pool
+# audit. Exits non-zero on any contract breach, mismatch or panic.
+replica-smoke:
+	$(GO) test -race -run 'TestReplica|TestPlacer|TestCluster' ./internal/cluster/ ./internal/serve/ ./internal/faultsim/
+	$(GO) test -race -count=1 -run 'TestParallelDeterminismReplicatedCluster|TestServeClusterDeterminism' .
+	$(GO) run ./cmd/lpfault -replicas -rfactors 1,2 -model lp,sbrp -jobs 4 -seeds 2 -parallel 4
+
+# replica-soak: the fuller replicated-failover sweep for scheduled CI —
+# R up to the device count, every placer, all registered models, plus
+# the harness write-amplification experiment and a degraded cluster
+# serving run.
+replica-soak:
+	$(GO) run ./cmd/lpfault -replicas -rfactors 1,2,3,4 -model all -seeds 6 -parallel 4
+	$(GO) run ./cmd/lpbench -exp replicacompare -parallel 4
+	$(GO) run ./cmd/lpserve -devices 3 -fail-launch 2 -fail-device 1 -json > /dev/null
+
 # bench: regenerate every artifact benchmark, then record the
 # serial-vs-parallel wall-clock comparison to BENCH_parallel.json.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	BENCH_JSON=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -v .
 
-ci: vet build race race-parallel matrix smoke scrub-smoke cluster-smoke persistcheck-smoke model-smoke serve-smoke
+ci: vet build race race-parallel matrix smoke scrub-smoke cluster-smoke persistcheck-smoke model-smoke serve-smoke replica-smoke

@@ -27,6 +27,15 @@
 // the durable store bit-exact against a crash-free run observed at the
 // same launch, and the admission ledger must hold to the end.
 //
+// With -replicas it runs the replicated-failover campaign: a fixed-size
+// cluster keeping R durable copies of every shard, a seeded injector
+// killing one device mid-launch in every case, and the quorum harvest
+// required to absorb every R >= 2 failure by adopting a consistent
+// surviving replica — zero re-executed blocks — while R = 1 cases must
+// degrade to the legacy re-execute path byte-identically. The sweep
+// covers R × failure kind × placer × persistency model with a bit-exact
+// durable-pool audit on every case.
+//
 //	lpfault -seeds 12                      # 204-case default campaign
 //	lpfault -kernels tmm -kinds mid-kernel # one cell of the sweep
 //	lpfault -model all -seeds 4            # every persistency model, same faults
@@ -37,6 +46,8 @@
 //	lpfault -cluster -failures hang -routers least-loaded -json
 //	lpfault -serve -seeds 4                # mid-serving crash campaign
 //	lpfault -serve -model lp,strict -json
+//	lpfault -replicas -rfactors 1,2,3      # replicated failover sweep
+//	lpfault -replicas -placers affinity -model lp,sbrp -json
 package main
 
 import (
@@ -82,11 +93,17 @@ func main() {
 		failures    = flag.String("failures", "", "comma-separated device-failure kinds (default: all of "+failureNames()+")")
 		jobs        = flag.Int("jobs", 8, "kernel launches (shards) per cluster case")
 		minAlive    = flag.Int("minalive", 1, "cluster quorum: below this many non-dead devices the run degrades")
+
+		replicaMode = flag.Bool("replicas", false, "run the replicated-failover campaign instead of the crash-shape campaign")
+		rfactors    = flag.String("rfactors", "1,2", "comma-separated replication factors to sweep")
+		placers     = flag.String("placers", "", "comma-separated replica placers (default: all of "+placerNames()+")")
+		rdevices    = flag.Int("rdevices", 4, "fixed cluster size for the replicated-failover campaign")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*seeds, *scale, *cache, *parallel, *attempts, *stuckFrac,
-		*kernels, *repro, *rateSweep, *clusterMode, *serveMode, *jobs, *minAlive); err != nil {
+		*kernels, *repro, *rateSweep, *clusterMode, *serveMode, *replicaMode,
+		*jobs, *minAlive, *rdevices); err != nil {
 		fmt.Fprintln(os.Stderr, "lpfault:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -113,6 +130,11 @@ func main() {
 	}
 	if *serveMode {
 		runServe(*model, *seeds, *baseSeed, *parallel, *progress, *jsonOut)
+		return
+	}
+	if *replicaMode {
+		runReplicas(opt, *rfactors, *placers, *failures, *model, *rdevices, *jobs, *minAlive,
+			*seeds, *baseSeed, *parallel, *progress, *jsonOut)
 		return
 	}
 
@@ -170,7 +192,8 @@ func main() {
 // or two exclusive modes at once would otherwise run silently and report
 // a meaningless success.
 func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float64,
-	kernels, repro string, rateSweep, clusterMode, serveMode bool, jobs, minAlive int) error {
+	kernels, repro string, rateSweep, clusterMode, serveMode, replicaMode bool,
+	jobs, minAlive, rdevices int) error {
 	// Which flags were explicitly set on the command line.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -195,16 +218,16 @@ func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float6
 	}
 
 	modes := 0
-	for _, m := range []bool{rateSweep, clusterMode, serveMode} {
+	for _, m := range []bool{rateSweep, clusterMode, serveMode, replicaMode} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-ratesweep, -cluster and -serve are exclusive modes")
+		return fmt.Errorf("-ratesweep, -cluster, -serve and -replicas are exclusive modes")
 	}
 	if repro != "" && modes > 0 {
-		return fmt.Errorf("-repro replays one crash-shape case and cannot combine with -ratesweep, -cluster or -serve")
+		return fmt.Errorf("-repro replays one crash-shape case and cannot combine with -ratesweep, -cluster, -serve or -replicas")
 	}
 
 	// Mode-specific flags demand their mode: silently ignoring them would
@@ -217,7 +240,7 @@ func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float6
 			}
 		}
 	}
-	clusterOnly := []string{"devices", "routers", "failures", "jobs", "minalive"}
+	clusterOnly := []string{"devices", "routers"}
 	if !clusterMode {
 		for _, name := range clusterOnly {
 			if set[name] {
@@ -225,30 +248,51 @@ func validateFlags(seeds, scale, cache, parallel, attempts int, stuckFrac float6
 			}
 		}
 	}
+	// Failure kinds, job counts and quorum parameterize both multi-device
+	// campaigns.
+	multiDevice := []string{"failures", "jobs", "minalive"}
+	if !clusterMode && !replicaMode {
+		for _, name := range multiDevice {
+			if set[name] {
+				return fmt.Errorf("-%s only applies to -cluster or -replicas", name)
+			}
+		}
+	}
+	replicaOnly := []string{"rfactors", "placers", "rdevices"}
+	if !replicaMode {
+		for _, name := range replicaOnly {
+			if set[name] {
+				return fmt.Errorf("-%s only applies to -replicas", name)
+			}
+		}
+	}
 	crashOnly := []string{"kernels", "kinds", "minimize", "maxrounds"}
-	if rateSweep || clusterMode || serveMode {
+	if modes > 0 {
 		for _, name := range crashOnly {
 			if set[name] {
 				return fmt.Errorf("-%s only applies to the crash-shape campaign", name)
 			}
 		}
 	}
-	// -model selects persistency models for both the crash-shape and the
-	// serve campaigns, but is meaningless for the other modes.
+	// -model selects persistency models for the crash-shape, serve and
+	// replica campaigns, but is meaningless for the other modes.
 	if set["model"] && (rateSweep || clusterMode) {
-		return fmt.Errorf("-model only applies to the crash-shape and -serve campaigns")
+		return fmt.Errorf("-model only applies to the crash-shape, -serve and -replicas campaigns")
 	}
 
-	if !rateSweep && !clusterMode && !serveMode && len(splitList(kernels)) == 0 {
+	if modes == 0 && len(splitList(kernels)) == 0 {
 		return fmt.Errorf("-kernels is empty: the crash-shape campaign needs at least one workload")
 	}
-	if clusterMode {
+	if clusterMode || replicaMode {
 		if jobs < 1 {
 			return fmt.Errorf("-jobs %d must be >= 1", jobs)
 		}
 		if minAlive < 1 {
 			return fmt.Errorf("-minalive %d must be >= 1", minAlive)
 		}
+	}
+	if replicaMode && rdevices < 1 {
+		return fmt.Errorf("-rdevices %d must be >= 1", rdevices)
 	}
 	return nil
 }
@@ -384,6 +428,71 @@ func runCluster(opt faultsim.Options, deviceList, routerList, failureList string
 	}
 }
 
+// runReplicas executes the replicated-failover campaign and renders or
+// JSON-encodes its report; any contract violation exits non-zero.
+func runReplicas(opt faultsim.Options, rfactorList, placerList, failureList, models string,
+	rdevices, jobs, minAlive, seeds int, baseSeed uint64, parallel int, progress, jsonOut bool) {
+	c := faultsim.DefaultReplicaCampaign(seeds)
+	c.Opt = opt
+	c.BaseSeed = baseSeed
+	c.Devices = rdevices
+	c.Jobs = jobs
+	c.MinAlive = minAlive
+	c.Parallel = parallel
+	for _, p := range splitList(rfactorList) {
+		var r int
+		if _, err := fmt.Sscanf(p, "%d", &r); err != nil {
+			fatal(fmt.Errorf("bad -rfactors entry %q: %w", p, err))
+		}
+		c.RFactors = append(c.RFactors, r)
+	}
+	for _, s := range splitList(placerList) {
+		pk, err := cluster.ParsePlacerKind(s)
+		if err != nil {
+			fatal(err)
+		}
+		c.Placers = append(c.Placers, pk)
+	}
+	for _, s := range splitList(failureList) {
+		k, err := cluster.ParseFailureKind(s)
+		if err != nil {
+			fatal(err)
+		}
+		c.Kinds = append(c.Kinds, k)
+	}
+	if models != "" {
+		specs, err := pmodel.Parse(models)
+		if err != nil {
+			fatal(err)
+		}
+		c.Models = nil
+		for _, s := range specs {
+			c.Models = append(c.Models, s.Name)
+		}
+	}
+	if progress {
+		c.Progress = func(done, total int, r faultsim.ReplicaResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %v -> %v\n", done, total, r.Case, r.Outcome)
+		}
+	}
+	rep, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}
+
 // runServe executes the mid-serving crash campaign and renders or
 // JSON-encodes its report; any contract violation exits non-zero.
 func runServe(models string, seeds int, baseSeed uint64, parallel int, progress, jsonOut bool) {
@@ -445,6 +554,14 @@ func routerNames() string {
 	names := make([]string, 0)
 	for _, r := range cluster.AllRouters() {
 		names = append(names, r.String())
+	}
+	return strings.Join(names, ",")
+}
+
+func placerNames() string {
+	names := make([]string, 0)
+	for _, p := range cluster.AllPlacers() {
+		names = append(names, p.String())
 	}
 	return strings.Join(names, ",")
 }

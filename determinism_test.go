@@ -419,3 +419,93 @@ func TestParallelDeterminismClusterCampaign(t *testing.T) {
 		}
 	}
 }
+
+// replicatedRun captures every observable output of one replicated
+// cluster run: the structured report plus the shared durable pool.
+type replicatedRun struct {
+	report []byte // report JSON
+	pool   []byte
+}
+
+func runReplicatedCluster(t *testing.T, workers int) replicatedRun {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Devices = 3
+	cfg.Jobs = 6
+	cfg.BlocksPerJob = 2
+	cfg.BlockThreads = 32
+	cfg.Seed = 0x7002
+	cfg.Replicas = 2
+	cfg.Placer = cluster.Affinity
+	cfg.Model = "sbrp"
+	cfg.Dev.Workers = workers
+	cfg.Failures = []cluster.FailurePlan{
+		{Job: 2, Kind: cluster.FailStop, AfterBlocks: 1},
+	}
+	cl := cluster.MustNew(cfg)
+	rep, err := cl.Run()
+	if err != nil {
+		t.Fatalf("workers=%d: replicated cluster run failed: %v", workers, err)
+	}
+	if verr := cl.Verify(); verr != nil {
+		t.Fatalf("workers=%d: pool audit failed: %v", workers, verr)
+	}
+	if rep.Adopted == 0 {
+		t.Fatalf("workers=%d: failover never adopted a replica: %+v", workers, rep)
+	}
+	if rep.ReexecutedBlocks != 0 {
+		t.Fatalf("workers=%d: replicated failover re-executed %d blocks", workers, rep.ReexecutedBlocks)
+	}
+	js, jerr := json.Marshal(rep)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	return replicatedRun{report: js, pool: cl.Pool().NVMImage()}
+}
+
+// TestParallelDeterminismReplicatedCluster drives a 3-device cluster
+// with R=2 replicated placement through a fail-stop — replica fan-out
+// inside the shared-clock loop, quorum harvest, freshness judging,
+// zero-re-execution adoption, online rebalance — under both engine
+// widths and asserts byte-identical reports and pool images.
+func TestParallelDeterminismReplicatedCluster(t *testing.T) {
+	serial := runReplicatedCluster(t, 1)
+	parallel := runReplicatedCluster(t, detWorkers)
+	if !bytes.Equal(serial.report, parallel.report) {
+		t.Errorf("replicated cluster reports diverged\nserial:   %s\nparallel: %s",
+			serial.report, parallel.report)
+	}
+	if !bytes.Equal(serial.pool, parallel.pool) {
+		t.Errorf("replicated cluster NVM images diverged between engines")
+	}
+}
+
+// TestParallelDeterminismReplicaCampaign runs a reduced replicated
+// failover campaign under both gpusim engine widths and both host
+// fan-out widths, comparing the full structured reports — the
+// acceptance pin for the -replicas campaign's determinism contract.
+func TestParallelDeterminismReplicaCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica campaign smoke test skipped in -short mode")
+	}
+	run := func(workers, hostPar int) *faultsim.ReplicaReport {
+		c := faultsim.DefaultReplicaCampaign(2)
+		c.Devices = 3
+		c.Jobs = 4
+		c.BlocksPerJob = 2
+		c.BlockThreads = 32
+		c.Opt.Dev.Workers = workers
+		c.Parallel = hostPar
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatalf("workers=%d parallel=%d: replica campaign failed: %v", workers, hostPar, err)
+		}
+		return rep
+	}
+	base := run(1, 1)
+	for _, alt := range []*faultsim.ReplicaReport{run(detWorkers, 1), run(1, 8), run(detWorkers, 8)} {
+		if !reflect.DeepEqual(base, alt) {
+			t.Errorf("replica campaign reports diverged\nbase: %+v\nalt:  %+v", base, alt)
+		}
+	}
+}

@@ -396,7 +396,8 @@ func hasBreak(body *ast.BlockStmt) bool {
 }
 
 func isFenceCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	return analysis.IsMethodOn(pass.TypesInfo, call, "memsim", "Memory", "FenceRange")
+	return analysis.IsMethodOn(pass.TypesInfo, call, "memsim", "Memory", "FenceRange") ||
+		analysis.IsMethodOn(pass.TypesInfo, call, "memsim", "Memory", "FenceRangeHost")
 }
 
 func isUnfenceCall(pass *analysis.Pass, call *ast.CallExpr) bool {

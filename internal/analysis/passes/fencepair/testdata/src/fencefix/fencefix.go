@@ -120,3 +120,12 @@ func okLoopRelease(m *memsim.Memory, jobs int) {
 		m.Unfence("f")
 	}
 }
+
+func leakHostFence(m *memsim.Memory) {
+	m.FenceRangeHost("f", 128, 64) // want "without Unfence"
+}
+
+func okHostFence(m *memsim.Memory) {
+	m.FenceRangeHost("f", 128, 64)
+	m.Unfence("f")
+}

@@ -22,6 +22,21 @@
 // gracefully to a typed DegradedClusterError: completed shards stay
 // valid and published, lost shards stay fenced.
 //
+// With Replicas > 1 every shard is additionally written to R-1 replica
+// devices chosen by a deterministic Placer (spread or affinity-aware),
+// each replica flushed durable within the same shared-clock loop, and
+// failover upgrades to quorum harvest: the survivors' replicas are
+// judged — freshest first, in placement order — against the configured
+// persistency model's own durable-image contract (LP refolds the shard
+// and compares checksums; EP replays its redo log; SBRP/strict check
+// release flags), and the first consistent replica is adopted and
+// published without re-executing anything. Only when no replica passes
+// does the protocol fall back to the harvest/re-execute path above.
+// Devices that rejoin after a transient stall trigger online
+// rebalancing: a bounded number of published shards are copied back in
+// per rejoin, the destination range fenced against device stores for
+// the duration of each copy.
+//
 // Everything is deterministic: the same Config produces a bit-identical
 // report and pool image at any gpusim Workers value and any host
 // GOMAXPROCS — the repo's determinism contract extends to whole-cluster
@@ -34,6 +49,7 @@ import (
 	"gpulp/internal/core"
 	"gpulp/internal/gpusim"
 	"gpulp/internal/memsim"
+	"gpulp/internal/pmodel"
 )
 
 // Config fixes one cluster run.
@@ -52,6 +68,24 @@ type Config struct {
 	// CustomRouter overrides it with a caller-provided implementation.
 	Router       RouterKind
 	CustomRouter Router
+	// Replicas is the number of durable copies per shard, the primary
+	// included (default 1 — the original sharded placement). With
+	// Replicas > 1 each job also launches on Replicas-1 placer-chosen
+	// devices within the same shared-clock loop, and failover prefers
+	// adopting a consistent surviving replica over re-executing.
+	Replicas int
+	// Placer selects the replica placement policy (default Spread);
+	// CustomPlacer overrides it with a caller-provided implementation.
+	Placer       PlacerKind
+	CustomPlacer Placer
+	// Model names the persistency model protecting every device's shard
+	// writes (a pmodel registry name; default "lp"). The model's durable
+	// metadata decides replica freshness during quorum harvest; "lp"
+	// keeps the original checksum-table failover path bit-identically.
+	Model string
+	// RebalanceBudget bounds shard copy-ins per rejoin event when
+	// Replicas > 1 (default 2).
+	RebalanceBudget int
 	// Seed salts the fill pattern and derived values.
 	Seed uint64
 	// Mem and Dev configure every device's private hierarchy (and the
@@ -65,7 +99,9 @@ type Config struct {
 	// heartbeat) after which a hung device is declared lost (default
 	// 25_000).
 	HeartbeatTimeout int64
-	// MaxFailovers bounds the failover attempts per lost job (default 3).
+	// MaxFailovers bounds the failover attempts per lost job (default 3;
+	// FailoverDisabled forbids failover entirely — every lost job
+	// degrades immediately).
 	MaxFailovers int
 	// BackoffBase is the deterministic exponential backoff unit: retry
 	// attempt a (a >= 1) waits BackoffBase << (a-1) cycles (default 1024).
@@ -83,6 +119,11 @@ type Config struct {
 	// exercising retry, backoff and degraded paths deterministically.
 	FailRecoveryAttempts int
 }
+
+// FailoverDisabled, as Config.MaxFailovers, gives failover a zero
+// budget: every lost job degrades immediately (MaxFailovers = 0 keeps
+// the default of 3 so legacy zero-value configs are unchanged).
+const FailoverDisabled = -1
 
 // DefaultConfig returns a 2-device round-robin cluster over the platform
 // defaults.
@@ -109,8 +150,23 @@ func (c *Config) withDefaults() {
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 25_000
 	}
-	if c.MaxFailovers <= 0 {
+	if c.MaxFailovers == 0 {
 		c.MaxFailovers = 3
+	}
+	if c.MaxFailovers < 0 {
+		c.MaxFailovers = 0 // FailoverDisabled: zero budget, degrade immediately
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Model == "" {
+		c.Model = "lp"
+	}
+	if c.RebalanceBudget == 0 {
+		c.RebalanceBudget = 2
+	}
+	if c.RebalanceBudget < 0 {
+		c.RebalanceBudget = 0
 	}
 	if c.BackoffBase <= 0 {
 		c.BackoffBase = 1024
@@ -140,6 +196,18 @@ func (c *Config) Validate() error {
 	if c.Router < 0 || c.Router >= numRouters {
 		return fmt.Errorf("cluster: unknown router kind %d", int(c.Router))
 	}
+	if c.Placer < 0 || c.Placer >= numPlacers {
+		return fmt.Errorf("cluster: unknown placer kind %d", int(c.Placer))
+	}
+	if c.Replicas > c.Devices {
+		return fmt.Errorf("cluster: Replicas %d exceeds Devices %d (replicas must land on distinct devices)",
+			c.Replicas, c.Devices)
+	}
+	if c.Model != "" {
+		if _, ok := pmodel.Lookup(c.Model); !ok {
+			return fmt.Errorf("cluster: unknown persistency model %q (have %v)", c.Model, pmodel.Names())
+		}
+	}
 	fusion := c.LP.Fusion
 	if fusion < 1 {
 		fusion = 1
@@ -168,11 +236,14 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// node is one device and its private simulated hierarchy.
+// node is one device and its private simulated hierarchy. model is the
+// device's persistency model instance; lp is its LP runtime when the
+// model is "lp" (nil otherwise — the generic failover path applies).
 type node struct {
 	id    int
 	mem   *memsim.Memory
 	dev   *gpusim.Device
+	model pmodel.Model
 	lp    *core.LP
 	out   memsim.Region
 	state DeviceState
@@ -198,6 +269,9 @@ type Report struct {
 	Devices   int        `json:"devices"`
 	Jobs      int        `json:"jobs"`
 	Router    RouterKind `json:"router"`
+	Model     string     `json:"model"`
+	Replicas  int        `json:"replicas"`
+	Placer    PlacerKind `json:"placer"`
 	Completed int        `json:"completed"`
 	// FailedOver counts jobs recovered on a survivor; Failovers counts
 	// attempts (>= FailedOver when retries or cascades happened).
@@ -214,6 +288,23 @@ type Report struct {
 	ReexecutedBlocks int `json:"reexecuted_blocks"`
 	// BackoffCycles is simulated time spent in failover retry backoff.
 	BackoffCycles int64 `json:"backoff_cycles"`
+	// ReplicaLaunches counts replica (non-primary) shard launches;
+	// Adopted counts jobs recovered by adopting a consistent surviving
+	// replica — zero re-execution, zero failover attempts.
+	ReplicaLaunches int `json:"replica_launches,omitempty"`
+	Adopted         int `json:"adopted,omitempty"`
+	// UnderReplicated counts jobs that could not reach the configured
+	// replica count; RebalancedShards counts rejoin-triggered shard
+	// copy-ins.
+	UnderReplicated  int `json:"under_replicated,omitempty"`
+	RebalancedShards int `json:"rebalanced_shards,omitempty"`
+	// ReplicaCoverage is the mean fraction of the configured replica
+	// count still alive per completed shard (1.0 = fully replicated);
+	// only reported when Replicas > 1.
+	ReplicaCoverage float64 `json:"replica_coverage,omitempty"`
+	// NVMLineWrites totals durable line writes across every device and
+	// the pool — the replication write-amplification measure.
+	NVMLineWrites int64 `json:"nvm_line_writes"`
 	// MakespanCycles is the shared-clock completion time of the run.
 	MakespanCycles int64 `json:"makespan_cycles"`
 	// Coverage is completed jobs over total jobs.
@@ -229,8 +320,13 @@ type Cluster struct {
 	pool   *memsim.Memory
 	nodes  []*node
 	router Router
+	placer Placer
 	plans  map[int]FailurePlan
 	salt   uint32
+	// holders[j] lists, in placement order, the devices holding a
+	// durable copy of job j's shard (replicas, then the publisher).
+	// Tracked only when Replicas > 1.
+	holders [][]int
 
 	now          int64 // shared-clock high-water mark outside device queues
 	done         []bool
@@ -269,9 +365,12 @@ func New(cfg Config) (*Cluster, error) {
 		plans:        map[int]FailurePlan{},
 		salt:         uint32(splitmix(cfg.Seed ^ 0xc105_7e4d)),
 		done:         make([]bool, cfg.Jobs),
+		holders:      make([][]int, cfg.Jobs),
 		failRecovery: cfg.FailRecoveryAttempts,
 	}
 	n := c.grid.Size() * c.blk.Size()
+	spec := pmodel.MustLookup(cfg.Model)
+	lpCfg := cfg.LP
 	for i := 0; i < cfg.Devices; i++ {
 		mem, err := memsim.New(cfg.Mem)
 		if err != nil {
@@ -285,7 +384,13 @@ func New(cfg Config) (*Cluster, error) {
 		nd := &node{id: i, mem: mem, dev: dev}
 		nd.out = dev.Alloc("out", n*4)
 		nd.out.HostZero()
-		nd.lp = core.New(dev, cfg.LP, c.grid, c.blk)
+		nd.model = spec.New(dev, &clusterWorkload{c: c, nd: nd}, pmodel.Options{
+			LP:        &lpCfg,
+			MaxRounds: cfg.MaxRounds,
+		})
+		if lm, ok := nd.model.(interface{ LP() *core.LP }); ok {
+			nd.lp = lm.LP()
+		}
 		c.nodes = append(c.nodes, nd)
 		if nd.out.Base != c.nodes[0].out.Base {
 			panic("cluster: device memory layouts diverged — cross-device import is unsound")
@@ -304,7 +409,14 @@ func New(cfg Config) (*Cluster, error) {
 	if c.router == nil {
 		c.router = newRouter(cfg.Router)
 	}
-	c.rep = &Report{Devices: cfg.Devices, Jobs: cfg.Jobs, Router: cfg.Router}
+	c.placer = cfg.CustomPlacer
+	if c.placer == nil {
+		c.placer = newPlacer(cfg.Placer)
+	}
+	c.rep = &Report{
+		Devices: cfg.Devices, Jobs: cfg.Jobs, Router: cfg.Router,
+		Model: cfg.Model, Replicas: cfg.Replicas, Placer: cfg.Placer,
+	}
 	return c, nil
 }
 
@@ -348,27 +460,52 @@ func (c *Cluster) jobAddr(j int) uint64 {
 	return c.nodes[0].out.Base + uint64(j*c.jobBytes())
 }
 
-// kernel is the cluster's dense LP-protected fill workload on nd: every
-// thread stores one checksummed word of its job's shard.
-func (c *Cluster) kernel(nd *node) gpusim.KernelFunc {
+// clusterWorkload adapts the cluster's dense fill — every thread stores
+// one word of its job's shard — to the pmodel.Workload contract, so any
+// registered persistency model can protect a device's shard writes.
+type clusterWorkload struct {
+	c  *Cluster
+	nd *node
+}
+
+func (w *clusterWorkload) Name() string                         { return "cluster-fill" }
+func (w *clusterWorkload) Geometry() (gpusim.Dim3, gpusim.Dim3) { return w.c.grid, w.c.blk }
+func (w *clusterWorkload) Outputs() []memsim.Region             { return []memsim.Region{w.nd.out} }
+
+func (w *clusterWorkload) Kernel(lp *core.LP) gpusim.KernelFunc {
 	return func(b *gpusim.Block) {
-		r := nd.lp.Begin(b)
+		r := lp.Begin(b)
 		b.ForAll(func(t *gpusim.Thread) {
 			gid := t.GlobalLinear()
-			v := c.Word(gid)
-			t.StoreU32(nd.out, gid, v)
+			v := w.c.Word(gid)
+			t.StoreU32(w.nd.out, gid, v)
 			r.Update(t, v)
 		})
 		r.Commit()
 	}
 }
 
-// recompute refolds a block's durable outputs on nd for validation.
-func (c *Cluster) recompute(nd *node) core.RecomputeFunc {
+func (w *clusterWorkload) Recompute() core.RecomputeFunc {
 	return func(b *gpusim.Block, r *core.Region) {
 		b.ForAll(func(t *gpusim.Thread) {
-			r.Update(t, t.LoadU32(nd.out, t.GlobalLinear()))
+			r.Update(t, t.LoadU32(w.nd.out, t.GlobalLinear()))
 		})
+	}
+}
+
+// recompute refolds a block's durable outputs on nd for validation.
+func (c *Cluster) recompute(nd *node) core.RecomputeFunc {
+	return (&clusterWorkload{c: c, nd: nd}).Recompute()
+}
+
+// foldBlock replays one block of the fill from a raw durable image in
+// thread order — the pmodel.BlockFolder LP's quorum-harvest judge
+// refolds replica checksums with.
+func (c *Cluster) foldBlock(img []byte, block int, emit func(bits uint32)) {
+	base := c.nodes[0].out.Base
+	for t := 0; t < c.cfg.BlockThreads; t++ {
+		gid := block*c.cfg.BlockThreads + t
+		emit(memsim.ImageU32(img, base+uint64(gid)*4))
 	}
 }
 
@@ -453,17 +590,34 @@ func (c *Cluster) Run() (*Report, error) {
 	return c.rep, nil
 }
 
+// revive marks a stalled device alive, charging its rejoin wait, and
+// returns the adjusted start time. Under replication a rejoin triggers
+// bounded rebalancing of published shards back onto the device.
+func (c *Cluster) revive(nd *node, start int64) int64 {
+	if nd.rejoinAt > start {
+		start = nd.rejoinAt
+	}
+	nd.state = Alive
+	nd.rejoinAt = 0
+	c.rep.Rejoins++
+	if c.cfg.Replicas > 1 {
+		c.rebalance(nd)
+	}
+	return start
+}
+
 // runJob launches job j on nd, arming any injected failure, and hands a
 // failed launch to the failover path.
 func (c *Cluster) runJob(j int, nd *node) {
+	// Replicate first: the shard's durable copies exist before the
+	// primary's (possibly failure-armed) launch, so quorum harvest has
+	// survivors to judge whatever happens to the primary.
+	if c.cfg.Replicas > 1 {
+		c.replicate(j, nd)
+	}
 	start := nd.freeAt
 	if nd.state == Stalled {
-		if nd.rejoinAt > start {
-			start = nd.rejoinAt
-		}
-		nd.state = Alive
-		nd.rejoinAt = 0
-		c.rep.Rejoins++
+		start = c.revive(nd, start)
 	}
 
 	plan, hasPlan := c.plans[j]
@@ -487,7 +641,7 @@ func (c *Cluster) runJob(j int, nd *node) {
 			})
 		}
 	}
-	res := nd.dev.LaunchSelected(fmt.Sprintf("job-%d", j), c.grid, c.blk, c.kernel(nd), c.jobBlocks(j))
+	res := nd.dev.LaunchSelected(fmt.Sprintf("job-%d", j), c.grid, c.blk, nd.model.Kernel(), c.jobBlocks(j))
 	nd.dev.SetHeartbeat(nil)
 	nd.dev.SetCrashTrigger(nil)
 	nd.busy += res.Cycles
@@ -526,6 +680,96 @@ func (c *Cluster) runJob(j int, nd *node) {
 	c.failover(j, nd, detectAt)
 }
 
+// replicate launches job j's shard on Replicas-1 placer-chosen devices
+// besides the primary, flushing each replica durable — the shard's
+// standby copies for quorum harvest.
+func (c *Cluster) replicate(j int, primary *node) {
+	var cands []DeviceView
+	for _, nd := range c.nodes {
+		if nd.state != Dead && nd.id != primary.id {
+			cands = append(cands, nd.view())
+		}
+	}
+	need := c.cfg.Replicas - 1
+	if need > len(cands) {
+		c.rep.UnderReplicated++
+	}
+	if len(cands) == 0 {
+		return
+	}
+	for _, id := range c.placer.Replicas(j, c.Owner(j), primary.id, need, cands) {
+		r := c.nodes[id]
+		start := r.freeAt
+		if r.state == Stalled {
+			start = c.revive(r, start)
+		}
+		res := r.dev.LaunchSelected(fmt.Sprintf("job-%d-replica", j), c.grid, c.blk, r.model.Kernel(), c.jobBlocks(j))
+		r.busy += res.Cycles
+		r.jobs++
+		r.freeAt = start + res.Cycles
+		// The replica durability sync point: the copy must survive any
+		// later loss of this device.
+		r.mem.FlushAll()
+		c.addHolder(j, id)
+		c.rep.ReplicaLaunches++
+	}
+}
+
+// addHolder records id as holding a durable copy of job j's shard.
+func (c *Cluster) addHolder(j, id int) {
+	if c.cfg.Replicas <= 1 {
+		return
+	}
+	for _, h := range c.holders[j] {
+		if h == id {
+			return
+		}
+	}
+	c.holders[j] = append(c.holders[j], id)
+}
+
+// rebalance restores replication onto a rejoined device: up to
+// RebalanceBudget published shards whose alive copy count dropped below
+// Replicas are copied back in from the durable pool, the destination
+// range fenced against device stores for the duration of each copy
+// (host writes pass — the copy-in is control-plane work).
+func (c *Cluster) rebalance(nd *node) {
+	budget := c.cfg.RebalanceBudget
+	for j := 0; j < c.cfg.Jobs && budget > 0; j++ {
+		if !c.done[j] || c.holdsShard(j, nd.id) || c.aliveHolders(j) >= c.cfg.Replicas {
+			continue
+		}
+		fence := fmt.Sprintf("rebalance-job-%d-dev-%d", j, nd.id)
+		nd.mem.FenceRangeHost(fence, c.jobAddr(j), c.jobBytes())
+		nd.mem.HostWrite(c.jobAddr(j), c.pool.PeekNVM(c.jobAddr(j), c.jobBytes()))
+		nd.mem.Unfence(fence)
+		c.addHolder(j, nd.id)
+		c.rep.RebalancedShards++
+		budget--
+	}
+}
+
+// holdsShard reports whether device id already holds job j's shard.
+func (c *Cluster) holdsShard(j, id int) bool {
+	for _, h := range c.holders[j] {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+// aliveHolders counts job j's holders on non-dead devices.
+func (c *Cluster) aliveHolders(j int) int {
+	n := 0
+	for _, h := range c.holders[j] {
+		if c.nodes[h].state != Dead {
+			n++
+		}
+	}
+	return n
+}
+
 // publish makes job j's durable bytes visible in the shared pool: flush
 // the owner's cache (the per-job durability sync point), then copy the
 // job's NVM slice into the pool at the identical address.
@@ -533,6 +777,7 @@ func (c *Cluster) publish(j int, nd *node) {
 	nd.mem.FlushAll()
 	data := nd.mem.PeekNVM(c.jobAddr(j), c.jobBytes())
 	c.pool.HostWrite(c.jobAddr(j), data)
+	c.addHolder(j, nd.id)
 	c.done[j] = true
 	c.rep.Completed++
 	if nd.freeAt > c.now {
@@ -540,25 +785,72 @@ func (c *Cluster) publish(j int, nd *node) {
 	}
 }
 
-// failover recovers job j, lost on dead at detectAt, on a surviving
-// device: fence the shard in the pool, harvest the dead device's durable
-// bytes, import them into a survivor, and re-execute the failed blocks
-// there with the existing checksum machinery. Bounded attempts with
-// deterministic exponential backoff; on exhaustion the shard stays
-// fenced and the job is recorded lost.
+// shardFresh judges a holder's durable image against its model's
+// freshness contract: LP refolds the shard's data and compares the
+// checksum table in the same image; EP replays its redo log; SBRP and
+// strict check release flags.
+func (c *Cluster) shardFresh(r *node, img []byte, blocks []int) bool {
+	switch m := r.model.(type) {
+	case pmodel.DataJudge:
+		return m.ShardConsistent(img, blocks, c.foldBlock)
+	case pmodel.ImageJudge:
+		return m.ShardIntact(img, blocks)
+	}
+	return false
+}
+
+// adopt scans job j's surviving replicas in placement order and returns
+// the first whose durable image passes its model's freshness contract —
+// the quorum-harvest path that recovers without re-executing anything.
+// Dead holders are skipped: their NVM is harvestable, but adoption
+// publishes via the holder's cache flush, which needs a live device.
+func (c *Cluster) adopt(j int, dead *node) *node {
+	blocks := c.jobBlocks(j)
+	for _, id := range c.holders[j] {
+		r := c.nodes[id]
+		if r == dead || r.state == Dead {
+			continue
+		}
+		if c.shardFresh(r, r.mem.NVMImage(), blocks) {
+			return r
+		}
+	}
+	return nil
+}
+
+// failover recovers job j, lost on dead at detectAt. With replicas the
+// first resort is quorum harvest: adopt the freshest consistent
+// surviving replica and publish it — no re-execution, no failover
+// attempt spent. Otherwise (or when no replica passes its model's
+// contract): fence the shard in the pool, harvest the dead device's
+// durable bytes, import them into a survivor, and re-execute the failed
+// blocks there — via the LP checksum machinery when the model is "lp",
+// or via the model's own PredictDamage contract otherwise. Bounded
+// attempts with deterministic exponential backoff; on exhaustion the
+// shard stays fenced and the job is recorded lost.
 func (c *Cluster) failover(j int, dead *node, detectAt int64) {
 	fence := fmt.Sprintf("shard-job-%d", j)
-	//lpvet:allow fencepair on failover exhaustion the lost shard stays fenced by protocol (see DegradedClusterError); the success path unfences before publish
+	//lpvet:allow fencepair on failover exhaustion the lost shard stays fenced by protocol (see DegradedClusterError); the success paths unfence before publish
 	c.pool.FenceRange(fence, c.jobAddr(j), c.jobBytes())
 
+	if c.cfg.Replicas > 1 {
+		if r := c.adopt(j, dead); r != nil {
+			c.pool.Unfence(fence)
+			c.publish(j, r)
+			c.rep.Adopted++
+			return
+		}
+	}
+
 	// Harvest: the job's (partially persisted) data slice and the whole
-	// checksum table. The GlobalArray store encodes entry presence
-	// in-band (sentinel / contributor count), so a raw byte copy
-	// reproduces lookup semantics exactly on the importing device.
+	// durable metadata — LP's checksum table (the GlobalArray store
+	// encodes entry presence in-band, so a raw byte copy reproduces
+	// lookup semantics exactly on the importing device), EP's redo log
+	// and commit flags, or a flag model's release flags.
 	data := dead.mem.PeekNVM(c.jobAddr(j), c.jobBytes())
-	tableRegions := dead.lp.Store().TableRegions()
-	tables := make([][]byte, len(tableRegions))
-	for i, tr := range tableRegions {
+	metaRegions := dead.model.MetadataRegions()
+	tables := make([][]byte, len(metaRegions))
+	for i, tr := range metaRegions {
 		tables[i] = dead.mem.PeekNVM(tr.Base, tr.Size)
 	}
 
@@ -571,12 +863,7 @@ func (c *Cluster) failover(j int, dead *node, detectAt int64) {
 		c.rep.Failovers++
 		start := detectAt
 		if r.state == Stalled {
-			if r.rejoinAt > start {
-				start = r.rejoinAt
-			}
-			r.state = Alive
-			r.rejoinAt = 0
-			c.rep.Rejoins++
+			start = c.revive(r, start)
 		}
 		if r.freeAt > start {
 			start = r.freeAt
@@ -588,7 +875,7 @@ func (c *Cluster) failover(j int, dead *node, detectAt int64) {
 		}
 
 		r.mem.HostWrite(c.jobAddr(j), data)
-		for i, tr := range r.lp.Store().TableRegions() {
+		for i, tr := range r.model.MetadataRegions() {
 			r.mem.HostWrite(tr.Base, tables[i])
 		}
 
@@ -607,28 +894,79 @@ func (c *Cluster) failover(j int, dead *node, detectAt int64) {
 			continue
 		}
 
-		rep, err := r.lp.RecoverBlocks(c.kernel(r), c.recompute(r), c.jobBlocks(j), core.ShardRecoverOpts{
-			MaxRounds:   c.cfg.MaxRounds,
-			BackoffBase: c.cfg.BackoffBase,
-		})
-		r.busy += rep.TotalCycles()
-		r.freeAt = start + rep.TotalCycles() + rep.BackoffCycles
-		r.jobs++
-		c.rep.BackoffCycles += rep.BackoffCycles
-		if err == nil {
-			if len(rep.FailedPerRound) > 0 {
-				c.rep.ReexecutedBlocks += rep.FailedPerRound[0]
+		if r.lp != nil {
+			rep, err := r.lp.RecoverBlocks(r.model.Kernel(), c.recompute(r), c.jobBlocks(j), core.ShardRecoverOpts{
+				MaxRounds:   c.cfg.MaxRounds,
+				BackoffBase: c.cfg.BackoffBase,
+			})
+			r.busy += rep.TotalCycles()
+			r.freeAt = start + rep.TotalCycles() + rep.BackoffCycles
+			r.jobs++
+			c.rep.BackoffCycles += rep.BackoffCycles
+			if err == nil {
+				if len(rep.FailedPerRound) > 0 {
+					c.rep.ReexecutedBlocks += rep.FailedPerRound[0]
+				}
+				c.pool.Unfence(fence)
+				c.publish(j, r)
+				c.rep.FailedOver++
+				return
 			}
-			c.pool.Unfence(fence)
-			c.publish(j, r)
-			c.rep.FailedOver++
-			return
+			// Typed failure on this survivor: try the next one.
+			tried[r.id] = true
+			detectAt = r.freeAt
+			continue
 		}
-		// Typed failure on this survivor: try the next one.
-		tried[r.id] = true
-		detectAt = r.freeAt
+
+		// Log-structured models (EP) keep durable data in their redo
+		// log, not in place: rematerialize the shard from the imported
+		// log before judging damage, or committed blocks publish zeros.
+		if rp, ok := r.model.(pmodel.ShardReplayer); ok {
+			rp.ReplayBlocks(c.jobBlocks(j))
+		}
+
+		// Generic model path: the model's PredictDamage contract names,
+		// from the imported durable image alone, the shard blocks whose
+		// persistence never completed; re-execute exactly those.
+		damaged := intersectBlocks(r.model.PredictDamage(r.mem.NVMImage()), c.jobBlocks(j))
+		var cycles int64
+		if len(damaged) > 0 {
+			res := r.dev.LaunchSelected(fmt.Sprintf("job-%d-reexec", j), c.grid, c.blk, r.model.Kernel(), damaged)
+			cycles = res.Cycles
+			if res.Interrupted {
+				r.busy += cycles
+				r.freeAt = start + cycles
+				tried[r.id] = true
+				detectAt = r.freeAt
+				continue
+			}
+		}
+		r.busy += cycles
+		r.freeAt = start + cycles
+		r.jobs++
+		c.rep.ReexecutedBlocks += len(damaged)
+		c.pool.Unfence(fence)
+		c.publish(j, r)
+		c.rep.FailedOver++
+		return
 	}
 	c.lost = append(c.lost, j)
+}
+
+// intersectBlocks filters damage units to the job's shard blocks,
+// preserving ascending order.
+func intersectBlocks(damage, shard []int) []int {
+	in := make(map[int]bool, len(shard))
+	for _, b := range shard {
+		in[b] = true
+	}
+	var out []int
+	for _, d := range damage {
+		if in[d] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // pickRecovery chooses the least-loaded untried survivor (ties by lowest
@@ -673,6 +1011,27 @@ func (c *Cluster) finishReport() {
 	c.rep.MakespanCycles = makespan
 	c.rep.LostJobs = append([]int(nil), c.lost...)
 	c.rep.Coverage = float64(c.rep.Completed) / float64(c.cfg.Jobs)
+	writes := c.pool.Stats().NVMLineWrites
+	for _, nd := range c.nodes {
+		writes += nd.mem.Stats().NVMLineWrites
+	}
+	c.rep.NVMLineWrites = writes
+	if c.cfg.Replicas > 1 && c.rep.Completed > 0 {
+		// Mean alive copies per completed shard, as a fraction of the
+		// configured replica count (capped at 1 per shard).
+		var sum float64
+		for j := 0; j < c.cfg.Jobs; j++ {
+			if !c.done[j] {
+				continue
+			}
+			alive := c.aliveHolders(j)
+			if alive > c.cfg.Replicas {
+				alive = c.cfg.Replicas
+			}
+			sum += float64(alive) / float64(c.cfg.Replicas)
+		}
+		c.rep.ReplicaCoverage = sum / float64(c.rep.Completed)
+	}
 }
 
 // Verify audits the shared pool: every completed job's shard must hold

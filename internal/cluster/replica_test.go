@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"gpulp/internal/core"
+	"gpulp/internal/pmodel"
+)
+
+// replicaConfig is testConfig with two copies of every shard.
+func replicaConfig() Config {
+	cfg := testConfig()
+	cfg.Replicas = 2
+	return cfg
+}
+
+// TestReplicatedAdoptionEachModelEachKind is the quorum-harvest
+// acceptance core: with R=2, every single-device failure under every
+// persistency model must recover by adopting a consistent surviving
+// replica — zero re-executions, zero failover attempts — and the pool
+// must audit bit-exactly.
+func TestReplicatedAdoptionEachModelEachKind(t *testing.T) {
+	for _, model := range pmodel.Names() {
+		for _, kind := range AllFailureKinds() {
+			t.Run(model+"/"+kind.String(), func(t *testing.T) {
+				cfg := replicaConfig()
+				cfg.Model = model
+				cfg.Failures = []FailurePlan{{Job: 2, Kind: kind, AfterBlocks: 1}}
+				cl := MustNew(cfg)
+				rep, err := cl.Run()
+				if err != nil {
+					t.Fatalf("run errored: %v", err)
+				}
+				if rep.Completed != cfg.Jobs {
+					t.Fatalf("completed %d/%d, lost %v", rep.Completed, cfg.Jobs, rep.LostJobs)
+				}
+				if rep.Adopted != 1 {
+					t.Fatalf("Adopted = %d, want 1", rep.Adopted)
+				}
+				if rep.Failovers != 0 || rep.FailedOver != 0 || rep.ReexecutedBlocks != 0 {
+					t.Fatalf("adoption must not re-execute: failovers=%d failedOver=%d reexec=%d",
+						rep.Failovers, rep.FailedOver, rep.ReexecutedBlocks)
+				}
+				if err := cl.Verify(); err != nil {
+					t.Fatalf("pool audit after adoption: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestReplicatedCleanRun: replication without failures launches R-1
+// replicas per job, keeps full replica coverage, and stays bit-exact.
+func TestReplicatedCleanRun(t *testing.T) {
+	cfg := replicaConfig()
+	cl := MustNew(cfg)
+	rep, err := cl.Run()
+	if err != nil {
+		t.Fatalf("clean replicated run errored: %v", err)
+	}
+	if rep.ReplicaLaunches != cfg.Jobs*(cfg.Replicas-1) {
+		t.Fatalf("ReplicaLaunches = %d, want %d", rep.ReplicaLaunches, cfg.Jobs*(cfg.Replicas-1))
+	}
+	if rep.ReplicaCoverage != 1 {
+		t.Fatalf("ReplicaCoverage = %v, want 1 with no failures", rep.ReplicaCoverage)
+	}
+	if rep.UnderReplicated != 0 || rep.Adopted != 0 {
+		t.Fatalf("clean run reported underReplicated=%d adopted=%d", rep.UnderReplicated, rep.Adopted)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatalf("pool audit: %v", err)
+	}
+}
+
+// TestReplicaWriteAmplification: R=2 must write measurably more NVM
+// lines than R=1 — the cost side of the availability trade.
+func TestReplicaWriteAmplification(t *testing.T) {
+	run := func(r int) int64 {
+		cfg := testConfig()
+		cfg.Replicas = r
+		cl := MustNew(cfg)
+		rep, err := cl.Run()
+		if err != nil {
+			t.Fatalf("R=%d run errored: %v", r, err)
+		}
+		return rep.NVMLineWrites
+	}
+	r1, r2 := run(1), run(2)
+	if r2 <= r1 {
+		t.Fatalf("NVM line writes must grow with replication: R=1 %d, R=2 %d", r1, r2)
+	}
+}
+
+// TestReplicaOneMatchesDefault: an explicit Replicas=1 configuration is
+// byte-identical — report JSON and pool image — to the zero-value
+// (legacy) configuration it defaults from.
+func TestReplicaOneMatchesDefault(t *testing.T) {
+	run := func(mutate func(*Config)) (string, []byte) {
+		cfg := testConfig()
+		cfg.Failures = []FailurePlan{{Job: 2, Kind: FailStop, AfterBlocks: 1}}
+		mutate(&cfg)
+		cl := MustNew(cfg)
+		rep, err := cl.Run()
+		if err != nil {
+			t.Fatalf("run errored: %v", err)
+		}
+		if err := cl.Verify(); err != nil {
+			t.Fatalf("pool audit: %v", err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(js), cl.Pool().NVMImage()
+	}
+	legacyJS, legacyImg := run(func(*Config) {})
+	explicitJS, explicitImg := run(func(cfg *Config) {
+		cfg.Replicas = 1
+		cfg.Model = "lp"
+		cfg.Placer = Spread
+	})
+	if legacyJS != explicitJS {
+		t.Fatalf("explicit R=1 report diverged from legacy:\n%s\nvs\n%s", explicitJS, legacyJS)
+	}
+	if string(legacyImg) != string(explicitImg) {
+		t.Fatal("explicit R=1 pool image diverged from legacy")
+	}
+}
+
+// emptyPlacer denies every replica placement, forcing holders to stay
+// empty so failover must take the legacy re-execute path.
+type emptyPlacer struct{}
+
+func (emptyPlacer) Name() string                                              { return "empty" }
+func (emptyPlacer) Replicas(job, owner, primary, n int, _ []DeviceView) []int { return nil }
+
+// TestReplicatedFallbackToReexec: when no replica passes its model's
+// contract (here: none exist), failover falls back to the existing
+// harvest/re-execute path and still recovers bit-exactly.
+func TestReplicatedFallbackToReexec(t *testing.T) {
+	cfg := replicaConfig()
+	cfg.CustomPlacer = emptyPlacer{}
+	cfg.Failures = []FailurePlan{{Job: 2, Kind: FailStop, AfterBlocks: 1}}
+	cl := MustNew(cfg)
+	rep, err := cl.Run()
+	if err != nil {
+		t.Fatalf("run errored: %v", err)
+	}
+	if rep.Adopted != 0 || rep.FailedOver != 1 {
+		t.Fatalf("fallback run: adopted=%d failedOver=%d, want 0/1", rep.Adopted, rep.FailedOver)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatalf("pool audit after fallback: %v", err)
+	}
+}
+
+// TestReplicatedRebalanceOnRejoin: a transiently stalled device that
+// rejoins must receive bounded shard copy-ins restoring replication,
+// with the destination fenced during each copy (the copy itself must
+// not trip the fence — it is host work).
+func TestReplicatedRebalanceOnRejoin(t *testing.T) {
+	cfg := replicaConfig()
+	cfg.RebalanceBudget = 1
+	cfg.Failures = []FailurePlan{{Job: 1, Kind: TransientStall, AfterBlocks: 1, RejoinCycles: 1}}
+	cl := MustNew(cfg)
+	rep, err := cl.Run()
+	if err != nil {
+		t.Fatalf("run errored: %v", err)
+	}
+	if rep.Rejoins == 0 {
+		t.Fatal("stalled device never rejoined")
+	}
+	if rep.RebalancedShards == 0 {
+		t.Fatal("rejoin must trigger rebalancing of under-replicated shards")
+	}
+	if rep.RebalancedShards > cfg.RebalanceBudget*rep.Rejoins {
+		t.Fatalf("rebalanced %d shards over %d rejoins exceeds budget %d",
+			rep.RebalancedShards, rep.Rejoins, cfg.RebalanceBudget)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatalf("pool audit after rebalance: %v", err)
+	}
+}
+
+// TestPlacerPolicies pins the deterministic placements of the built-in
+// placers.
+func TestPlacerPolicies(t *testing.T) {
+	cands := []DeviceView{{ID: 0}, {ID: 2}, {ID: 3}} // device 1 is the primary
+	got := newPlacer(Spread).Replicas(5, 3, 1, 2, cands)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("spread placed %v, want [2 3]", got)
+	}
+	got = newPlacer(Affinity).Replicas(5, 3, 1, 2, cands)
+	if len(got) != 2 || got[0] != 3 || got[1] != 0 {
+		t.Fatalf("affinity placed %v, want [3 0]", got)
+	}
+	if n := len(newPlacer(Spread).Replicas(0, 0, 0, 5, cands)); n != 3 {
+		t.Fatalf("placer must cap at candidate count, got %d", n)
+	}
+	for _, k := range AllPlacers() {
+		if _, err := ParsePlacerKind(k.String()); err != nil {
+			t.Fatalf("placer %v does not round-trip: %v", k, err)
+		}
+	}
+}
+
+// TestClusterFailoverDisabled: MaxFailovers=FailoverDisabled gives
+// failover a zero budget — the lost job degrades immediately with the
+// full typed unwrap chain, and zero attempts are recorded.
+func TestClusterFailoverDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxFailovers = FailoverDisabled
+	cfg.Failures = []FailurePlan{{Job: 2, Kind: FailStop, AfterBlocks: 1}}
+	cl := MustNew(cfg)
+	rep, err := cl.Run()
+	if err == nil {
+		t.Fatal("zero failover budget must degrade, got nil error")
+	}
+	var deg *DegradedClusterError
+	if !errors.As(err, &deg) {
+		t.Fatalf("error is %T, want *DegradedClusterError", err)
+	}
+	if !errors.Is(err, core.ErrDegraded) || !core.IsTypedRecoveryError(err) {
+		t.Fatal("degraded error must keep the typed unwrap chain")
+	}
+	if rep.Failovers != 0 || rep.FailedOver != 0 {
+		t.Fatalf("disabled failover still attempted: failovers=%d failedOver=%d",
+			rep.Failovers, rep.FailedOver)
+	}
+	if len(deg.LostJobs) != 1 || deg.LostJobs[0] != 2 {
+		t.Fatalf("lost jobs %v, want [2]", deg.LostJobs)
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatalf("completed shards must stay valid: %v", err)
+	}
+}
+
+// TestClusterFailoverBudgetDefaults pins the MaxFailovers semantics:
+// zero keeps the legacy default, FailoverDisabled means zero budget.
+func TestClusterFailoverBudgetDefaults(t *testing.T) {
+	var cfg Config
+	cfg.withDefaults()
+	if cfg.MaxFailovers != 3 {
+		t.Fatalf("zero-value MaxFailovers defaults to %d, want 3", cfg.MaxFailovers)
+	}
+	cfg = Config{MaxFailovers: FailoverDisabled}
+	cfg.withDefaults()
+	if cfg.MaxFailovers != 0 {
+		t.Fatalf("FailoverDisabled resolves to %d, want 0", cfg.MaxFailovers)
+	}
+}
+
+// TestClusterAllDevicesFail: every device dying must end in honest
+// degradation — dead devices enumerated, undispatched jobs fenced as
+// lost, completed shards still bit-exact.
+func TestClusterAllDevicesFail(t *testing.T) {
+	cfg := testConfig()
+	cfg.Devices = 2
+	cfg.Failures = []FailurePlan{
+		{Job: 1, Kind: FailStop, AfterBlocks: 1},
+		{Job: 2, Kind: FailStop, AfterBlocks: 1},
+	}
+	cl := MustNew(cfg)
+	rep, err := cl.Run()
+	if err == nil {
+		t.Fatal("losing every device must degrade, got nil error")
+	}
+	var deg *DegradedClusterError
+	if !errors.As(err, &deg) {
+		t.Fatalf("error is %T, want *DegradedClusterError", err)
+	}
+	if !errors.Is(err, core.ErrDegraded) || !core.IsTypedRecoveryError(err) {
+		t.Fatal("degraded error must keep the typed unwrap chain")
+	}
+	if len(deg.DeadDevices) != cfg.Devices {
+		t.Fatalf("dead devices %v, want all %d", deg.DeadDevices, cfg.Devices)
+	}
+	if rep.Completed+len(deg.LostJobs) != cfg.Jobs {
+		t.Fatalf("completed %d + lost %d != jobs %d", rep.Completed, len(deg.LostJobs), cfg.Jobs)
+	}
+	if len(cl.Pool().Fences()) != len(deg.LostJobs) {
+		t.Fatalf("%d lost jobs but %d fenced shards", len(deg.LostJobs), len(cl.Pool().Fences()))
+	}
+	if err := cl.Verify(); err != nil {
+		t.Fatalf("completed shards must stay valid: %v", err)
+	}
+}
+
+// TestReplicatedDeterministicReport: a replicated failover run is a pure
+// function of its Config.
+func TestReplicatedDeterministicReport(t *testing.T) {
+	run := func() string {
+		cfg := replicaConfig()
+		cfg.Model = "sbrp"
+		cfg.Placer = Affinity
+		cfg.Failures = []FailurePlan{{Job: 3, Kind: Hang, AfterBlocks: 1}}
+		cl := MustNew(cfg)
+		rep, err := cl.Run()
+		if err != nil {
+			t.Fatalf("run errored: %v", err)
+		}
+		js, _ := json.Marshal(rep)
+		return string(js) + string(cl.Pool().NVMImage())
+	}
+	if run() != run() {
+		t.Fatal("replicated cluster run is not deterministic")
+	}
+}

@@ -163,31 +163,55 @@ func (e *EP) ImageCommitted(img []byte) []bool {
 func (e *EP) Recover() RecoveryReport {
 	var rep RecoveryReport
 	for blk := 0; blk < e.grid.Size(); blk++ {
-		flag := e.flags.NVMU64(blk)
-		if flag == 0 {
+		if e.flags.NVMU64(blk) == 0 {
 			rep.Uncommitted = append(rep.Uncommitted, blk)
 			continue
 		}
 		rep.Committed++
-		n := int(flag - 1)
-		if n > e.perBlock {
-			n = e.perBlock // torn flag: bound the replay
-		}
-		segBase := blk * e.perBlock
-		var buf [4]byte
-		for i := 0; i < n; i++ {
-			addr := e.log.NVMU64((segBase + i) * entryWords)
-			val := e.log.NVMU64((segBase+i)*entryWords + 1)
-			if addr == 0 {
-				break // torn log tail
-			}
-			buf[0] = byte(val)
-			buf[1] = byte(val >> 8)
-			buf[2] = byte(val >> 16)
-			buf[3] = byte(val >> 24)
-			e.mem.HostWrite(addr, buf[:])
-			rep.Replayed++
-		}
+		rep.Replayed += e.replayBlock(blk)
 	}
 	return rep
+}
+
+// ReplayBlocks replays the redo logs of the listed blocks (skipping
+// uncommitted ones) into durable memory and returns the record count —
+// the shard-scoped form of Recover. Cluster failover uses it after
+// importing a harvested log onto a survivor: EP's data lines are never
+// written back eagerly, so a committed block's data exists only in the
+// log until replayed.
+func (e *EP) ReplayBlocks(blocks []int) int {
+	replayed := 0
+	for _, blk := range blocks {
+		if blk < 0 || blk >= e.grid.Size() || e.flags.NVMU64(blk) == 0 {
+			continue
+		}
+		replayed += e.replayBlock(blk)
+	}
+	return replayed
+}
+
+// replayBlock replays one committed block's log segment, returning the
+// number of records applied.
+func (e *EP) replayBlock(blk int) int {
+	n := int(e.flags.NVMU64(blk) - 1)
+	if n > e.perBlock {
+		n = e.perBlock // torn flag: bound the replay
+	}
+	segBase := blk * e.perBlock
+	var buf [4]byte
+	replayed := 0
+	for i := 0; i < n; i++ {
+		addr := e.log.NVMU64((segBase + i) * entryWords)
+		val := e.log.NVMU64((segBase+i)*entryWords + 1)
+		if addr == 0 {
+			break // torn log tail
+		}
+		buf[0] = byte(val)
+		buf[1] = byte(val >> 8)
+		buf[2] = byte(val >> 16)
+		buf[3] = byte(val >> 24)
+		e.mem.HostWrite(addr, buf[:])
+		replayed++
+	}
+	return replayed
 }

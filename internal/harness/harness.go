@@ -159,6 +159,7 @@ var Experiments = []Experiment{
 	{"faultcampaign", "robustness: seeded fault-injection campaign vs hardened recovery", (*Runner).FaultCampaign},
 	{"scrubcampaign", "robustness: media-error rate sweep vs self-healing recovery", (*Runner).ScrubCampaign},
 	{"clustercampaign", "robustness: multi-device failover sweep vs sharded cross-device recovery", (*Runner).ClusterCampaign},
+	{"replicacompare", "robustness: availability, goodput and NVM write amplification vs replication factor", (*Runner).ReplicaCompare},
 	{"modelcompare", "persistency model zoo: LP vs EP vs SBRP vs strict", (*Runner).ModelCompare},
 	{"serve", "serving: MEGA-KV latency under load, admission and persistency models (§VII-4 online)", (*Runner).Serve},
 	{"scaling", "ablation: LP overhead vs thread-block count", (*Runner).Scaling},

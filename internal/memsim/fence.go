@@ -11,11 +11,15 @@ import "fmt"
 // Loads and peeks are unrestricted: harvesting a fenced shard's durable
 // bytes is exactly what recovery does.
 
-// FencedRange is one named write-fenced address range.
+// FencedRange is one named write-fenced address range. HostWritable
+// fences block device stores only: the cluster's rebalance copy-in
+// erects one so the destination device cannot dirty the shard while the
+// control plane's HostWrite restores it from the durable pool.
 type FencedRange struct {
-	Name string
-	Base uint64
-	Size int
+	Name         string
+	Base         uint64
+	Size         int
+	HostWritable bool
 }
 
 // FenceRange write-fences [base, base+size). The name must be non-empty
@@ -24,6 +28,18 @@ type FencedRange struct {
 // the fence was erected are not intercepted (the fence protocol flushes
 // or crashes the cache first).
 func (m *Memory) FenceRange(name string, base uint64, size int) {
+	m.fenceRange(name, base, size, false)
+}
+
+// FenceRangeHost write-fences [base, base+size) against device stores
+// only; host writes pass through. This is the rebalance copy-in fence:
+// the control plane repopulates a rejoined replica by HostWrite while
+// the fence guarantees no kernel can race the copy.
+func (m *Memory) FenceRangeHost(name string, base uint64, size int) {
+	m.fenceRange(name, base, size, true)
+}
+
+func (m *Memory) fenceRange(name string, base uint64, size int, hostWritable bool) {
 	if name == "" {
 		panic("memsim: FenceRange with empty name")
 	}
@@ -35,7 +51,7 @@ func (m *Memory) FenceRange(name string, base uint64, size int) {
 			panic(fmt.Sprintf("memsim: fence %q already exists", name))
 		}
 	}
-	m.fences = append(m.fences, FencedRange{Name: name, Base: base, Size: size})
+	m.fences = append(m.fences, FencedRange{Name: name, Base: base, Size: size, HostWritable: hostWritable})
 }
 
 // Unfence removes the named fence, reporting whether it existed.
@@ -57,8 +73,13 @@ func (m *Memory) Fences() []FencedRange {
 }
 
 // checkFence panics when [addr, addr+size) overlaps a fenced range.
-func (m *Memory) checkFence(what string, addr uint64, size int) {
+// host marks the mutation as a control-plane HostWrite, which
+// HostWritable fences deliberately admit.
+func (m *Memory) checkFence(what string, addr uint64, size int, host bool) {
 	for _, f := range m.fences {
+		if host && f.HostWritable {
+			continue
+		}
 		if addr < f.Base+uint64(f.Size) && addr+uint64(size) > f.Base {
 			panic(fmt.Sprintf("memsim: %s at %#x (%d bytes) into fenced range %q [%#x,%#x)",
 				what, addr, size, f.Name, f.Base, f.Base+uint64(f.Size)))

@@ -381,7 +381,7 @@ func (m *Memory) Load(kind AccessKind, addr uint64, size int) ([]byte, AccessRes
 // (write-allocate, write-back).
 func (m *Memory) Store(kind AccessKind, addr uint64, buf []byte) AccessResult {
 	if m.fences != nil {
-		m.checkFence("device store", addr, len(buf))
+		m.checkFence("device store", addr, len(buf), false)
 	}
 	m.stats.Stores[kind]++
 	l, res := m.access(addr, len(buf))
@@ -546,7 +546,7 @@ func (m *Memory) PeekNVM(addr uint64, size int) []byte {
 // traffic.
 func (m *Memory) HostWrite(addr uint64, buf []byte) {
 	if m.fences != nil {
-		m.checkFence("host write", addr, len(buf))
+		m.checkFence("host write", addr, len(buf), true)
 	}
 	end := int(addr) + len(buf)
 	if end > len(m.nvm) {

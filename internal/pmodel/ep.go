@@ -57,6 +57,11 @@ func (m *epModel) PredictDamage(img []byte) []int {
 	return damaged
 }
 
+// ReplayBlocks implements ShardReplayer: EP never writes data lines
+// back eagerly, so a committed block's data exists only in its durable
+// redo log until replayed.
+func (m *epModel) ReplayBlocks(blocks []int) int { return m.e.ReplayBlocks(blocks) }
+
 func (m *epModel) Recover() (Report, error) {
 	rep := m.e.Recover()
 	out := Report{

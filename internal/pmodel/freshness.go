@@ -1,0 +1,149 @@
+// Freshness contracts for replica adoption: the cluster's quorum
+// harvest must decide, from a surviving replica's raw NVM image alone,
+// whether a shard's blocks are fully persisted there — without
+// launching anything on the (possibly dead) device. Flag-based models
+// (EP commit flags, SBRP/strict release flags) answer from durable
+// metadata; LP answers by refolding the shard's data and comparing
+// against the checksum table stored in the same image, exactly the
+// judgement PredictDamage makes on the primary after a crash.
+package pmodel
+
+import (
+	"gpulp/internal/checksum"
+	"gpulp/internal/memsim"
+)
+
+// BlockFolder replays one block's durable data from a raw NVM image,
+// feeding every stored bit pattern to emit in the kernel's deterministic
+// thread order. The workload owner supplies one so LP can refold a
+// replica's checksums host-side.
+type BlockFolder func(img []byte, block int, emit func(bits uint32))
+
+// ImageJudge is implemented by models whose durable metadata alone
+// certifies a shard: a set commit/release flag means the block's data
+// persisted before the flag did (the model's ordering contract).
+type ImageJudge interface {
+	// ShardIntact reports whether every listed block is durably
+	// complete in img.
+	ShardIntact(img []byte, blocks []int) bool
+}
+
+// DataJudge is implemented by models whose freshness check must refold
+// the workload's durable data (LP checksums): each block is replayed
+// via the folder and the salted fold compared against the checksum
+// table packed into the same image.
+type DataJudge interface {
+	ShardConsistent(img []byte, blocks []int, replay BlockFolder) bool
+}
+
+// ShardReplayer is implemented by models whose durable data lives in a
+// log rather than in place (EP): after failover imports a harvested log
+// onto a survivor, ReplayBlocks rematerializes the listed blocks' data
+// from it before damage is judged. Returns the record count replayed.
+type ShardReplayer interface {
+	ReplayBlocks(blocks []int) int
+}
+
+// ShardIntact accepts the shard when every listed block's release flag
+// is durably set. Covers sbrp and strict via embedding.
+func (f *flagModel) ShardIntact(img []byte, blocks []int) bool {
+	for _, blk := range blocks {
+		if memsim.ImageU64(img, f.flags.Base+uint64(blk)*8) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardIntact accepts the shard when every listed block committed AND
+// its durable data agrees with its redo log. EP persists the log, not
+// the data lines, before the commit flag — a committed block's data may
+// still be un-written-back — so the judge replays each durable log
+// record against the same image and rejects on any divergence rather
+// than trusting the flag alone.
+func (m *epModel) ShardIntact(img []byte, blocks []int) bool {
+	regions := m.e.MetadataRegions()
+	logR, flags := regions[0], regions[1]
+	perBlock := int(m.e.LogBytes()) / (m.grid.Size() * 16)
+	committed := m.e.ImageCommitted(img)
+	for _, blk := range blocks {
+		if blk < 0 || blk >= len(committed) || !committed[blk] {
+			return false
+		}
+		// The flag stores entryCount+1; replay each (address, value)
+		// record and require the imaged data word to match.
+		n := int(memsim.ImageU64(img, flags.Base+uint64(blk)*8)) - 1
+		if n < 0 || n > perBlock {
+			return false
+		}
+		seg := uint64(blk * perBlock)
+		for i := uint64(0); i < uint64(n); i++ {
+			addr := memsim.ImageU64(img, logR.Base+(seg+i)*16)
+			val := memsim.ImageU64(img, logR.Base+(seg+i)*16+8)
+			if uint64(memsim.ImageU32(img, addr)) != val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ShardConsistent refolds the shard's durable data from img — salting
+// each block total with Mix64(epoch, block) exactly as Region.Commit
+// does on-device — merges fusion groups, and accepts only when every
+// covered LP region's stored checksum matches the refold. A fusion
+// group only partially inside the shard cannot be judged from the shard
+// alone and is rejected; the caller falls back to re-execution.
+func (m *lpModel) ShardConsistent(img []byte, blocks []int, replay BlockFolder) bool {
+	cfg := m.lp.Config()
+	fusion := m.lp.Fusion()
+	grid := m.lp.Grid().Size()
+	type group struct {
+		st      checksum.State
+		covered int
+	}
+	groups := make(map[int]*group, len(blocks))
+	var order []int
+	for _, blk := range blocks {
+		var st checksum.State
+		replay(img, blk, func(bits uint32) {
+			switch cfg.Checksum {
+			case checksum.Parity:
+				st.Par ^= uint64(bits)
+			case checksum.Modular:
+				st.Mod += uint64(bits)
+			default: // Dual
+				st.Mod += uint64(bits)
+				st.Par ^= uint64(bits)
+			}
+		})
+		salt := checksum.Mix64(m.lp.Epoch(), uint64(blk))
+		st.Mod += salt
+		st.Par ^= salt
+		reg := blk / fusion
+		g := groups[reg]
+		if g == nil {
+			g = &group{}
+			groups[reg] = g
+			order = append(order, reg)
+		}
+		g.st.Mod += st.Mod
+		g.st.Par ^= st.Par
+		g.covered++
+	}
+	for _, reg := range order {
+		size := fusion
+		if rem := grid - reg*fusion; rem < size {
+			size = rem
+		}
+		g := groups[reg]
+		if g.covered != size {
+			return false
+		}
+		stored, ok := m.lp.Store().ImageLookup(img, uint64(reg))
+		if !ok || !stored.Matches(g.st, cfg.Checksum) {
+			return false
+		}
+	}
+	return true
+}

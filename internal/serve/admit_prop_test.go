@@ -1,0 +1,95 @@
+package serve
+
+import "testing"
+
+// Seeded property test for the token-bucket admission policy: across a
+// seed sweep of adversarial arrival patterns (bursts at one instant,
+// long gaps, dense streams), the bucket must (a) never admit more than
+// AdmitBurst requests at a single instant, (b) never admit more than
+// its starting capacity plus the exact refill over any run prefix, and
+// (c) track an independent reference reimplementation token-for-token —
+// exact float equality, since both sides perform the identical
+// arithmetic in the identical order. That last check pins the refill
+// accounting: no drift, no double-refill at repeated timestamps,
+// clamping only at the burst cap.
+func TestTokenBucketProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		cfg := DefaultConfig()
+		r := rng{s: seed * 0x9e37_79b9}
+		cfg.Policy = "token-bucket"
+		cfg.AdmitRatePerMCycle = float64(10 + r.intn(200))
+		cfg.AdmitBurst = 1 + r.intn(40)
+		spec, _ := LookupPolicy(cfg.Policy)
+		tb := spec.New(cfg).(*tokenBucket)
+
+		// Reference state, advanced with the same arithmetic.
+		perCycle := cfg.AdmitRatePerMCycle / 1e6
+		burst := float64(cfg.AdmitBurst)
+		refTokens := burst
+		refLast := int64(0)
+
+		var now, lastNow int64
+		admitsAtNow := 0
+		totalAdmitted := 0
+		for step := 0; step < 2000; step++ {
+			// Adversarial gaps: mostly zero (same-instant bursts), with
+			// occasional short and rare long jumps.
+			switch r.intn(8) {
+			case 0:
+				now += int64(r.intn(5_000))
+			case 1:
+				now += int64(r.intn(2_000_000))
+			}
+			if now != lastNow {
+				admitsAtNow = 0
+				lastNow = now
+			}
+			admitted := tb.Admit(now, Request{})
+
+			// Reference step: identical refill, clamp and spend.
+			if now > refLast {
+				refTokens += float64(now-refLast) * perCycle
+				if refTokens > burst {
+					refTokens = burst
+				}
+				refLast = now
+			}
+			wantAdmit := refTokens >= 1
+			if wantAdmit {
+				refTokens--
+			}
+
+			if admitted != wantAdmit {
+				t.Fatalf("seed %d step %d (now=%d): Admit=%v, reference says %v (tokens %v)",
+					seed, step, now, admitted, wantAdmit, refTokens)
+			}
+			if tb.tokens != refTokens {
+				t.Fatalf("seed %d step %d: refill accounting drifted: bucket %v, reference %v",
+					seed, step, tb.tokens, refTokens)
+			}
+			if tb.tokens < 0 || tb.tokens > burst {
+				t.Fatalf("seed %d step %d: tokens %v outside [0, %v]", seed, step, tb.tokens, burst)
+			}
+
+			if admitted {
+				totalAdmitted++
+				admitsAtNow++
+			}
+			if admitsAtNow > cfg.AdmitBurst {
+				t.Fatalf("seed %d: %d admits at instant %d exceed burst %d",
+					seed, admitsAtNow, now, cfg.AdmitBurst)
+			}
+			// Over the whole prefix the bucket can never have admitted
+			// more than its starting capacity plus the refill for the
+			// elapsed time (the first arrival lands at cycle 0 with a
+			// full bucket).
+			if ceiling := burst + float64(now)*perCycle; float64(totalAdmitted) > ceiling {
+				t.Fatalf("seed %d: %d admits by cycle %d exceed ceiling %v",
+					seed, totalAdmitted, now, ceiling)
+			}
+		}
+		if totalAdmitted == 0 {
+			t.Fatalf("seed %d: property run admitted nothing — pattern degenerate", seed)
+		}
+	}
+}

@@ -88,3 +88,49 @@ func TestServeDeterminismHostParallel(t *testing.T) {
 		}
 	}
 }
+
+func runClusterServing(t *testing.T, workers int) *serve.ClusterRunResult {
+	t.Helper()
+	cfg := serve.DefaultClusterConfig()
+	cfg.HorizonCycles = 400_000
+	cfg.Devices = 3
+	cfg.Model = "lp"
+	cfg.Seed = 7
+	cfg.FailAtLaunch = 2
+	cfg.FailDevice = 1
+	cfg.Dev.Workers = workers
+	r, err := serve.RunCluster(cfg)
+	if err != nil {
+		t.Fatalf("cluster serve workers=%d: %v", workers, err)
+	}
+	if err := r.VerifyLedger(); err != nil {
+		t.Fatalf("cluster serve workers=%d: %v", workers, err)
+	}
+	if len(r.Report.DeadDevices) != 1 || r.Report.DeadDevices[0] != 1 {
+		t.Fatalf("cluster serve workers=%d: expected device 1 dead, got %v",
+			workers, r.Report.DeadDevices)
+	}
+	return r
+}
+
+// TestServeClusterDeterminism runs cluster-backed serving through a
+// mid-serving device loss — replicated batch launches, survivor
+// adoption, degraded-mode shedding — under both engine widths and
+// asserts byte-identical rendered reports and durable output images.
+func TestServeClusterDeterminism(t *testing.T) {
+	serial := runClusterServing(t, 1)
+	parallel := runClusterServing(t, detWorkers)
+	if serial.Report.String() != parallel.Report.String() {
+		t.Errorf("cluster report diverged\nserial:\n%s\nparallel:\n%s",
+			serial.Report.String(), parallel.Report.String())
+	}
+	so, po := serial.Outputs(), parallel.Outputs()
+	if len(so) == 0 || len(so) != len(po) {
+		t.Fatalf("output image count diverged: %d vs %d", len(so), len(po))
+	}
+	for i := range so {
+		if !bytes.Equal(so[i], po[i]) {
+			t.Errorf("durable output %d diverged between engines", i)
+		}
+	}
+}
